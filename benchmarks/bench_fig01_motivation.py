@@ -1,0 +1,20 @@
+"""Figure 1: operations & memory of standard vs DSC vs fused convolution."""
+
+from repro.experiments import figure1, format_table
+
+
+def test_fig01_motivation(benchmark, once, capsys):
+    rows = once(benchmark, figure1)
+    table = format_table(
+        ["variant", "operations", "weights", "feature maps", "memory accesses"],
+        [
+            [r.variant, f"{r.operations:.1%}", f"{r.weights:.1%}",
+             f"{r.feature_maps:.1%}", f"{r.memory_accesses:.1%}"]
+            for r in rows
+        ],
+    )
+    with capsys.disabled():
+        print("\n[Figure 1] MobileNet conv, normalized to the standard conv")
+        print(table)
+    std, dsc, fused = rows
+    assert dsc.operations < 0.15 and fused.memory_accesses < dsc.memory_accesses

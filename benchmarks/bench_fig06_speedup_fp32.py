@@ -1,0 +1,22 @@
+"""Figure 6: FCM speedup over layer-by-layer execution, FP32, three GPUs."""
+
+import numpy as np
+
+from repro.core.dtypes import DType
+from repro.experiments import figure6_7, format_table
+
+
+def test_fig06_fcm_vs_lbl_fp32(benchmark, once, capsys):
+    points = once(benchmark, lambda: figure6_7(DType.FP32))
+    with capsys.disabled():
+        print("\n[Figure 6] FCM speedup over LBL (FP32)")
+        print(format_table(
+            ["case", "gpu", "module", "speedup", "GMA saving", "redundancy"],
+            [[p.case_id, p.gpu, p.fcm_type, f"{p.speedup:.2f}x",
+              f"{p.gma_saving:.0%}", f"{p.redundancy_ratio:.0%}"] for p in points],
+        ))
+        sp = [p.speedup for p in points]
+        print(f"-> wins {sum(s > 1 for s in sp)}/{len(sp)}, "
+              f"avg {np.mean(sp):.2f}x, max {max(sp):.2f}x "
+              f"(paper: 67/72 wins, avg 1.3x, max 1.6x)")
+    assert sum(p.speedup > 1 for p in points) / len(points) > 0.85

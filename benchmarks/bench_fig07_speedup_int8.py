@@ -1,0 +1,22 @@
+"""Figure 7: FCM speedup over layer-by-layer execution, INT8, three GPUs."""
+
+import numpy as np
+
+from repro.core.dtypes import DType
+from repro.experiments import figure6_7, format_table
+
+
+def test_fig07_fcm_vs_lbl_int8(benchmark, once, capsys):
+    points = once(benchmark, lambda: figure6_7(DType.INT8))
+    with capsys.disabled():
+        print("\n[Figure 7] FCM speedup over LBL (INT8)")
+        print(format_table(
+            ["case", "gpu", "module", "speedup", "GMA saving", "redundancy"],
+            [[p.case_id, p.gpu, p.fcm_type, f"{p.speedup:.2f}x",
+              f"{p.gma_saving:.0%}", f"{p.redundancy_ratio:.0%}"] for p in points],
+        ))
+        sp = [p.speedup for p in points]
+        print(f"-> wins {sum(s > 1 for s in sp)}/{len(sp)}, "
+              f"avg {np.mean(sp):.2f}x, max {max(sp):.2f}x "
+              f"(paper: avg 1.4x, max 1.8x)")
+    assert np.mean([p.speedup for p in points]) > 1.2

@@ -1,0 +1,16 @@
+"""Figure 8: global-memory access time, loads/stores split, normalized to LBL."""
+
+from repro.experiments import figure8, format_table
+
+
+def test_fig08_gma_time_breakdown(benchmark, once, capsys):
+    bars = once(benchmark, figure8)
+    with capsys.disabled():
+        print("\n[Figure 8] GM access time (read+write), normalized to LBL total")
+        print(format_table(
+            ["case", "gpu", "variant", "read", "write", "total"],
+            [[b.case_id, b.gpu, b.variant, f"{b.read_share:.2f}",
+              f"{b.write_share:.2f}", f"{b.total:.2f}"] for b in bars],
+        ))
+    fcm = [b for b in bars if b.variant == "FCM"]
+    assert all(b.total < 1.0 for b in fcm)  # fusion always cuts GM time

@@ -1,0 +1,26 @@
+"""Figure 9: FCM / LBL / cuDNN algorithms vs IMPLICIT_PRECOMP_GEMM (FP32)."""
+
+import numpy as np
+
+from repro.experiments import figure9, format_table
+
+
+def test_fig09_vs_cudnn(benchmark, once, capsys):
+    points = once(benchmark, figure9)
+    with capsys.disabled():
+        print("\n[Figure 9] speedups normalized to IMPL_PRECOMP_GEMM (FP32)")
+        print(format_table(
+            ["case", "gpu", "GEMM", "IMP_GEMM", "our LBL", "FCM",
+             "LBL GMA sav", "FCM GMA sav"],
+            [[p.case_id, p.gpu, f"{p.gemm_speedup:.2f}",
+              f"{p.implicit_gemm_speedup:.2f}", f"{p.lbl_speedup:.2f}",
+              f"{p.fcm_speedup:.2f}", f"{p.lbl_gma_saving:.0%}",
+              f"{p.fcm_gma_saving:.0%}"] for p in points],
+        ))
+        print(f"-> FCM avg {np.mean([p.fcm_speedup for p in points]):.2f}x "
+              f"max {max(p.fcm_speedup for p in points):.2f}x "
+              f"(paper: avg 2x, max 3.7x); "
+              f"GMA savings up to LBL {max(p.lbl_gma_saving for p in points):.0%} / "
+              f"FCM {max(p.fcm_gma_saving for p in points):.0%} "
+              f"(paper: 63% / 83%)")
+    assert max(p.fcm_gma_saving for p in points) > 0.7

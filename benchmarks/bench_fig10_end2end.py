@@ -1,0 +1,24 @@
+"""Figures 10a/10b: end-to-end CNN speedup over TVM (FP32 and INT8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import DType
+from repro.experiments import figure10_11, format_table
+
+
+@pytest.mark.parametrize("dtype", [DType.FP32, DType.INT8], ids=["fp32", "int8"])
+def test_fig10_end_to_end_speedup(benchmark, once, capsys, dtype):
+    points = once(benchmark, lambda: figure10_11(dtype))
+    with capsys.disabled():
+        print(f"\n[Figure 10/{dtype}] end-to-end speedup over TVM")
+        print(format_table(
+            ["model", "gpu", "speedup", "fused layers", "ours (ms)", "tvm (ms)"],
+            [[p.model, p.gpu, f"{p.speedup_vs_tvm:.2f}x", f"{p.fused_fraction:.0%}",
+              f"{p.ours_latency_ms:.3f}", f"{p.tvm_latency_ms:.3f}"]
+             for p in points],
+        ))
+        sp = [p.speedup_vs_tvm for p in points]
+        print(f"-> avg {np.mean(sp):.2f}x max {max(sp):.2f}x min {min(sp):.2f}x "
+              f"(paper fp32: avg 1.4x max 1.6x / int8: avg 1.5x max 1.8x)")
+    assert min(p.speedup_vs_tvm for p in points) > 0.95

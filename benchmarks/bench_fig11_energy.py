@@ -1,0 +1,27 @@
+"""Figures 11a/11b: energy per inference normalized to TVM (FP32 and INT8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import DType
+from repro.experiments import figure10_11, format_table
+
+
+@pytest.mark.parametrize("dtype", [DType.FP32, DType.INT8], ids=["fp32", "int8"])
+def test_fig11_energy_vs_tvm(benchmark, once, capsys, dtype):
+    points = once(benchmark, lambda: figure10_11(dtype))
+    with capsys.disabled():
+        print(f"\n[Figure 11/{dtype}] energy per inference normalized to TVM")
+        print(format_table(
+            ["model", "gpu", "energy vs TVM", "GMA vs TVM"],
+            [[p.model, p.gpu, f"{p.energy_vs_tvm:.2f}", f"{p.gma_vs_tvm:.2f}"]
+             for p in points],
+        ))
+        e = [p.energy_vs_tvm for p in points]
+        print(f"-> avg {np.mean(e):.2f} min {min(e):.2f} "
+              f"(paper fp32: avg 0.59 min 0.34 / int8: avg 0.54 min 0.35)")
+        # Energy savings exceed latency savings on average (paper §VI-C).
+        inv_speedup = [1 / p.speedup_vs_tvm for p in points]
+        print(f"-> mean normalized energy {np.mean(e):.2f} <= "
+              f"mean normalized latency {np.mean(inv_speedup):.2f}")
+    assert np.mean([p.energy_vs_tvm for p in points]) < 1.0

@@ -1,0 +1,70 @@
+"""Microbenchmarks of the simulator itself: functional kernel launches.
+
+These are genuine wall-clock benchmarks (the figure benches above time
+analytic sweeps): they execute tiled kernels over real tensors and are the
+numbers to watch when optimizing the simulator's NumPy hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.fcm import FcmType
+from repro.gpu.specs import RTX_A4000
+from repro.ir.layers import ConvKind, ConvSpec
+from repro.kernels.params import chain_quant, make_layer_params
+from repro.kernels.registry import build_fcm_kernel, build_lbl_kernel
+
+_PW = ConvSpec("pw", ConvKind.POINTWISE, 64, 128, 56, 56)
+_DW = ConvSpec("dw", ConvKind.DEPTHWISE, 128, 128, 56, 56, kernel=3, stride=1,
+               padding=1)
+
+
+def _ifm(spec, dtype=DType.FP32):
+    rng = np.random.default_rng(0)
+    if dtype is DType.INT8:
+        return rng.integers(-128, 128, spec.ifm.shape).astype(np.int8)
+    return rng.standard_normal(spec.ifm.shape).astype(np.float32)
+
+
+def test_bench_pw_direct(benchmark):
+    params = make_layer_params(_PW)
+    x = _ifm(_PW)
+    kernel_args = {"tile_m": 32, "tile_hw": 256}
+    out = benchmark(
+        lambda: build_lbl_kernel(params, kernel_args).simulate(x, RTX_A4000)
+    )
+    assert out.counters.total_bytes > 0
+
+
+def test_bench_dw_direct(benchmark):
+    params = make_layer_params(_DW)
+    x = _ifm(_DW)
+    kernel_args = {"tile_c": 32, "tile_h": 14, "tile_w": 14}
+    out = benchmark(
+        lambda: build_lbl_kernel(params, kernel_args).simulate(x, RTX_A4000)
+    )
+    assert out.counters.total_bytes > 0
+
+
+@pytest.mark.parametrize("dtype", [DType.FP32, DType.INT8], ids=["fp32", "int8"])
+def test_bench_fcm_pwdw_r(benchmark, dtype):
+    pw = _PW.with_dtype(dtype)
+    dw = _DW.with_dtype(dtype)
+    p1 = make_layer_params(pw)
+    p2 = chain_quant(p1, dw)
+    x = _ifm(pw, dtype)
+    tiling = {"tile_f": 32, "tile_h": 14, "tile_w": 14}
+    out = benchmark(
+        lambda: build_fcm_kernel(FcmType.PWDW_R, p1, p2, tiling).simulate(
+            x, RTX_A4000
+        )
+    )
+    assert out.counters.total_bytes > 0
+
+
+def test_bench_planner_layer_search(benchmark):
+    from repro.planner.search import best_lbl_tiling
+
+    out = benchmark(lambda: best_lbl_tiling(_PW, RTX_A4000))
+    assert out.gma_bytes > 0

@@ -1,0 +1,20 @@
+"""Table II: FusePlanner-selected fusion cases and redundancy ratios."""
+
+from repro.core.dtypes import DType
+from repro.experiments import format_table, table2_rows
+
+
+def test_table2_fp32(benchmark, once, capsys):
+    rows = once(benchmark, lambda: table2_rows(DType.FP32))
+    with capsys.disabled():
+        print("\n[Table II / FP32] fusion cases (planner-selected)")
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows]))
+    assert sum(r["fcm"] == "PWDW_R" for r in rows) > len(rows) / 2
+
+
+def test_table2_int8(benchmark, once, capsys):
+    rows = once(benchmark, lambda: table2_rows(DType.INT8))
+    with capsys.disabled():
+        print("\n[Table II / INT8] fusion cases (planner-selected)")
+        print(format_table(list(rows[0]), [list(r.values()) for r in rows]))
+    assert rows

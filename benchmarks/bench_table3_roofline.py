@@ -1,0 +1,19 @@
+"""Table III: compute/memory-bound classification on GTX and RTX (FP32)."""
+
+from repro.experiments import format_table, table3
+
+
+def test_table3_roofline(benchmark, once, capsys):
+    rows = once(benchmark, table3)
+    by_gpu = {}
+    for r in rows:
+        by_gpu.setdefault(r.gpu, []).append(r)
+    with capsys.disabled():
+        print("\n[Table III] LBL vs FCM boundedness (C=compute, M=memory)")
+        for gpu, rs in by_gpu.items():
+            print(format_table(
+                ["case", f"{gpu} LBL", f"{gpu} FCM"],
+                [[r.case_id, r.lbl_label, r.fcm_bound] for r in rs],
+            ))
+    lbl = [r.lbl_first_bound for r in rows] + [r.lbl_second_bound for r in rows]
+    assert lbl.count("M") > len(lbl) / 2  # LBL DW/PW mostly memory-bound

@@ -1,0 +1,57 @@
+"""Bring your own GPU: how fusion decisions shift with the memory hierarchy.
+
+FusePlanner's choices depend on the SM count, L1 size and the shared-memory
+partition (paper §VI-A explains GTX's weaker results by its smaller
+L1/shared budget).  This example defines a custom GPU, sweeps its shared
+memory size, and shows the fused-layer fraction and module mix responding.
+
+Run:  python examples/custom_gpu.py
+"""
+
+from dataclasses import replace
+
+from repro import DType
+from repro.gpu import GpuSpec
+from repro.models import build_model
+from repro.planner import FusePlanner
+
+
+def make_gpu(shared_kb: int) -> GpuSpec:
+    return GpuSpec(
+        name=f"custom-{shared_kb}k",
+        compute_capability="8.x",
+        sm_count=32,
+        cuda_cores=4096,
+        l1_kb=max(shared_kb + 32, 96),
+        shared_kb=shared_kb,
+        l2_mb=2.0,
+        dram="GDDR6",
+        dram_bw_gbps=320.0,
+        clock_ghz=1.5,
+    )
+
+
+def main() -> None:
+    graph = build_model("mobilenet_v2")
+    print(f"{'shared/SM':>10s} {'fused':>6s} {'FCM mix':40s} {'est GMA (MB)':>12s}")
+    for shared_kb in (16, 32, 64, 96, 160):
+        gpu = make_gpu(shared_kb)
+        plan = FusePlanner(gpu).plan(graph)
+        mix: dict[str, int] = {}
+        for s in plan.fcm_steps:
+            mix[s.fcm_type.name] = mix.get(s.fcm_type.name, 0) + 1
+        mix_s = ", ".join(f"{k}x{v}" for k, v in sorted(mix.items())) or "-"
+        print(
+            f"{shared_kb:>9d}K {plan.fused_layer_fraction:>6.0%} {mix_s:40s} "
+            f"{plan.est_total_gma_bytes / 1e6:>12.2f}"
+        )
+    # Precision has the same effect as more on-chip memory (paper §VI-A):
+    gpu = make_gpu(64)
+    for dtype in (DType.FP32, DType.INT8):
+        plan = FusePlanner(gpu).plan(build_model("mobilenet_v2", dtype))
+        print(f"{dtype}: fused {plan.fused_layer_fraction:.0%}, "
+              f"est GMA {plan.est_total_gma_bytes / 1e6:.2f} MB")
+
+
+if __name__ == "__main__":
+    main()

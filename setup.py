@@ -1,0 +1,9 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only provides the legacy
+`setup.py develop` entry point for offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Fusing Depthwise and Pointwise Convolutions for
+Efficient Inference on GPUs" (Qararyah et al., ICPP 2024).
+
+Public API tour:
+
+* :mod:`repro.core` — dtypes, reference convolutions, tiling math, INT8
+  quantization, FCM taxonomy.
+* :mod:`repro.ir` — layer specs, model DAGs, block builders.
+* :mod:`repro.gpu` — simulated GPU substrate (Table I presets, memory
+  hierarchy with access metering, roofline timing, energy model).
+* :mod:`repro.kernels` — simulated LBL and fused (FCM) kernels.
+* :mod:`repro.planner` — FusePlanner cost models (paper Eq. 1-4) and search.
+* :mod:`repro.baselines` — cuDNN-like and TVM-like comparators.
+* :mod:`repro.models` — MobileNetV1/V2, Xception, ProxylessNAS, CeiT, CMT.
+* :mod:`repro.runtime` — end-to-end inference sessions.
+* :mod:`repro.experiments` — harnesses regenerating every paper table/figure.
+"""
+
+from .core import DType, FcmType
+from .gpu import ALL_GPUS, GTX1660, ORIN, RTX_A4000, GpuSpec, gpu_by_name
+from .ir import ConvKind, ConvSpec, ModelGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DType",
+    "FcmType",
+    "ALL_GPUS",
+    "GTX1660",
+    "ORIN",
+    "RTX_A4000",
+    "GpuSpec",
+    "gpu_by_name",
+    "ConvKind",
+    "ConvSpec",
+    "ModelGraph",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Baselines: simulated cuDNN algorithms and a TVM-like end-to-end compiler."""
+
+from .autotune import random_search
+from .cudnn import (
+    CudnnAlgo,
+    best_cudnn_algo,
+    cudnn_counters,
+    cudnn_timing,
+    run_cudnn,
+)
+from .im2col import conv_via_im2col, depthwise_via_im2col, im2col
+from .tvm import TvmCompiler, TvmConvStep, TvmGlueStep, TvmPlan
+
+__all__ = [
+    "random_search",
+    "CudnnAlgo",
+    "best_cudnn_algo",
+    "cudnn_counters",
+    "cudnn_timing",
+    "run_cudnn",
+    "conv_via_im2col",
+    "depthwise_via_im2col",
+    "im2col",
+    "TvmCompiler",
+    "TvmConvStep",
+    "TvmGlueStep",
+    "TvmPlan",
+]

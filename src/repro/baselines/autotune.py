@@ -1,0 +1,48 @@
+"""Deterministic random-search auto-tuner (the paper's "20 iterations").
+
+The paper runs TVM auto-tuning "for 20 iterations with the hardware in the
+loop" (§V-C).  This tuner reproduces that protocol against the analytic
+timing models: sample up to N configurations without replacement from the
+candidate space (seeded, hence reproducible), evaluate each, keep the best.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = ["random_search"]
+
+T = TypeVar("T")
+
+
+def random_search(
+    candidates: Sequence[T],
+    evaluate: Callable[[T], float],
+    iterations: int = 20,
+    seed: int = 0,
+) -> tuple[T, float]:
+    """Sample up to ``iterations`` candidates and return the best (lowest cost).
+
+    Sampling is without replacement; when the space is smaller than the
+    budget the search is exhaustive (as TVM's would effectively be).
+    """
+    if not candidates:
+        raise PlanError("random_search needs at least one candidate")
+    rng = np.random.default_rng(seed)
+    n = len(candidates)
+    take = min(iterations, n)
+    idx = rng.choice(n, size=take, replace=False)
+    best_cfg: T | None = None
+    best_cost = float("inf")
+    for i in idx:
+        cfg = candidates[int(i)]
+        cost = float(evaluate(cfg))
+        if cost < best_cost:
+            best_cost = cost
+            best_cfg = cfg
+    assert best_cfg is not None  # take >= 1
+    return best_cfg, best_cost

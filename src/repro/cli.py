@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate paper artifacts and plan models.
+
+Usage:
+    python -m repro.cli table2 --dtype int8
+    python -m repro.cli fig6 --dtype fp32
+    python -m repro.cli fig10 --dtype fp32
+    python -m repro.cli plan mobilenet_v2 --gpu RTX --dtype int8
+    python -m repro.cli gpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core.dtypes import DType
+from .gpu.specs import ALL_GPUS, gpu_by_name
+
+__all__ = ["main"]
+
+
+def _dtype(name: str) -> DType:
+    return DType.INT8 if name.lower() == "int8" else DType.FP32
+
+
+def _cmd_gpus(_args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_table
+
+    rows = [
+        [g.name, g.compute_capability, g.sm_count, g.cuda_cores, g.l1_kb,
+         g.shared_kb, f"{g.l2_mb:g}", g.dram, f"{g.dram_bw_gbps:g}"]
+        for g in ALL_GPUS
+    ]
+    print(format_table(
+        ["gpu", "cc", "SMs", "cores", "L1 KiB", "shared KiB", "L2 MB",
+         "DRAM", "GB/s"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments.fusion_cases import table2_rows
+    from .experiments.reporting import format_table
+
+    rows = table2_rows(_dtype(args.dtype))
+    print(format_table(list(rows[0]), [list(r.values()) for r in rows]))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from .experiments.fig6_fig7 import figure6_7
+    from .experiments.reporting import format_table
+
+    points = figure6_7(_dtype(args.dtype))
+    print(format_table(
+        ["case", "gpu", "module", "speedup", "GMA saving"],
+        [[p.case_id, p.gpu, p.fcm_type, f"{p.speedup:.2f}x",
+          f"{p.gma_saving:.0%}"] for p in points],
+    ))
+    sp = [p.speedup for p in points]
+    print(f"wins {sum(s > 1 for s in sp)}/{len(sp)}, avg {np.mean(sp):.2f}x, "
+          f"max {max(sp):.2f}x")
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    from .experiments.fig10_fig11 import figure10_11
+    from .experiments.reporting import format_table
+
+    points = figure10_11(_dtype(args.dtype))
+    print(format_table(
+        ["model", "gpu", "speedup", "energy vs TVM", "fused"],
+        [[p.model, p.gpu, f"{p.speedup_vs_tvm:.2f}x", f"{p.energy_vs_tvm:.2f}",
+          f"{p.fused_fraction:.0%}"] for p in points],
+    ))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from .models.zoo import build_model
+    from .planner.planner import FusePlanner
+
+    graph = build_model(args.model, _dtype(args.dtype))
+    plan = FusePlanner(gpu_by_name(args.gpu)).plan(graph)
+    print(plan.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FCM / FusePlanner reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("gpus", help="list the paper's GPU presets").set_defaults(
+        fn=_cmd_gpus
+    )
+    for name, fn, help_ in (
+        ("table2", _cmd_table2, "regenerate Table II fusion cases"),
+        ("fig6", _cmd_fig6, "FCM-vs-LBL speedups (Fig. 6/7)"),
+        ("fig10", _cmd_fig10, "end-to-end vs TVM (Fig. 10/11)"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("plan", help="print FusePlanner's plan for a model")
+    p.add_argument("model")
+    p.add_argument("--gpu", default="RTX")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.set_defaults(fn=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

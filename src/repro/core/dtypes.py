@@ -1,0 +1,56 @@
+"""Data types supported by the kernels and cost models.
+
+The paper evaluates two inference precisions:
+
+* **FP32** — the original training precision; one multiply-accumulate (MAC)
+  per CUDA-core FMA per cycle.
+* **INT8** — the common quantized-inference precision; the ``dp4a`` CUDA
+  intrinsic performs a four-way int8 dot product with 32-bit accumulation,
+  i.e. four MACs per core per cycle, and each element is a single byte.
+
+Changing the element width changes which tiles fit in L1/shared memory, which
+is why FusePlanner picks *different* fusions for FP32 vs INT8 (paper Table II).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["DType"]
+
+
+class DType(enum.Enum):
+    """Inference element type, with the properties the cost models need."""
+
+    FP32 = "fp32"
+    INT8 = "int8"
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes per element as stored in global/shared memory."""
+        return 4 if self is DType.FP32 else 1
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """NumPy storage dtype used by the functional simulator."""
+        return np.dtype(np.float32) if self is DType.FP32 else np.dtype(np.int8)
+
+    @property
+    def acc_dtype(self) -> np.dtype:
+        """Accumulator dtype (FP32 accumulates in fp32, INT8 in int32)."""
+        return np.dtype(np.float32) if self is DType.FP32 else np.dtype(np.int32)
+
+    @property
+    def macs_per_core_cycle(self) -> int:
+        """MACs one CUDA core retires per cycle (dp4a gives INT8 a 4x ratio)."""
+        return 1 if self is DType.FP32 else 4
+
+    @property
+    def pack_factor(self) -> int:
+        """Elements packed per 32-bit word when writing buffers (paper §III-B)."""
+        return 1 if self is DType.FP32 else 4
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,199 @@
+"""Reference (non-tiled) convolution and epilogue operators.
+
+These are the *golden* implementations every simulated GPU kernel is tested
+against.  They are fully vectorized NumPy (``sliding_window_view`` + einsum):
+no Python-level loops over pixels, views instead of copies wherever possible,
+per the HPC guidance for this repo.
+
+Layout convention: single-image inference, channels-first ``(C, H, W)``.
+Weights are ``(M, C, KH, KW)`` for standard convolution, ``(C, KH, KW)`` for
+depthwise (one filter slice per channel) and ``(M, C)`` for pointwise
+(1x1 filters spanning all channels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..errors import ShapeError
+
+__all__ = [
+    "out_dim",
+    "conv2d_standard",
+    "conv2d_depthwise",
+    "conv2d_pointwise",
+    "fold_batchnorm",
+    "apply_norm",
+    "apply_activation",
+    "ACTIVATIONS",
+]
+
+
+def out_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial extent of a convolution along one axis.
+
+    Standard "floor" convolution arithmetic:
+    ``out = floor((size + 2*padding - kernel) / stride) + 1``.
+    """
+    if size <= 0 or kernel <= 0 or stride <= 0 or padding < 0:
+        raise ShapeError(
+            f"invalid conv geometry: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    span = size + 2 * padding - kernel
+    if span < 0:
+        raise ShapeError(f"kernel {kernel} larger than padded input {size + 2 * padding}")
+    return span // stride + 1
+
+
+def _pad_spatial(ifm: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of a ``(C, H, W)`` tensor."""
+    if padding == 0:
+        return ifm
+    return np.pad(ifm, ((0, 0), (padding, padding), (padding, padding)))
+
+
+def _windows(ifm: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Strided view of all ``(kh, kw)`` input windows: ``(C, Ho, Wo, KH, KW)``."""
+    x = _pad_spatial(ifm, padding)
+    win = sliding_window_view(x, (kh, kw), axis=(1, 2))
+    return win[:, ::stride, ::stride]
+
+
+def conv2d_standard(
+    ifm: np.ndarray, weights: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Direct standard convolution.
+
+    Args:
+        ifm: input feature maps, shape ``(C, H, W)``.
+        weights: filters, shape ``(M, C, KH, KW)``.
+        stride: spatial stride (same for H and W).
+        padding: symmetric zero padding.
+
+    Returns:
+        OFMs of shape ``(M, Ho, Wo)``.  Integer inputs accumulate in int32,
+        floating inputs in float32.
+    """
+    if ifm.ndim != 3 or weights.ndim != 4:
+        raise ShapeError(f"expected (C,H,W) and (M,C,KH,KW), got {ifm.shape}, {weights.shape}")
+    if ifm.shape[0] != weights.shape[1]:
+        raise ShapeError(f"channel mismatch: ifm C={ifm.shape[0]}, weights C={weights.shape[1]}")
+    win = _windows(ifm, weights.shape[2], weights.shape[3], stride, padding)
+    acc = np.int32 if np.issubdtype(ifm.dtype, np.integer) else np.float32
+    return np.einsum(
+        "chwkl,mckl->mhw", win.astype(acc, copy=False), weights.astype(acc, copy=False)
+    )
+
+
+def conv2d_depthwise(
+    ifm: np.ndarray, weights: np.ndarray, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Depthwise convolution: one ``(KH, KW)`` filter slice per input channel.
+
+    Args:
+        ifm: ``(C, H, W)`` input.
+        weights: ``(C, KH, KW)`` filter slices.
+
+    Returns:
+        OFMs of shape ``(C, Ho, Wo)`` (depthwise preserves the channel count).
+    """
+    if ifm.ndim != 3 or weights.ndim != 3:
+        raise ShapeError(f"expected (C,H,W) and (C,KH,KW), got {ifm.shape}, {weights.shape}")
+    if ifm.shape[0] != weights.shape[0]:
+        raise ShapeError(f"channel mismatch: ifm C={ifm.shape[0]}, weights C={weights.shape[0]}")
+    win = _windows(ifm, weights.shape[1], weights.shape[2], stride, padding)
+    acc = np.int32 if np.issubdtype(ifm.dtype, np.integer) else np.float32
+    return np.einsum(
+        "chwkl,ckl->chw", win.astype(acc, copy=False), weights.astype(acc, copy=False)
+    )
+
+
+def conv2d_pointwise(ifm: np.ndarray, weights: np.ndarray, stride: int = 1) -> np.ndarray:
+    """Pointwise (1x1) convolution across the channel dimension.
+
+    Args:
+        ifm: ``(C, H, W)`` input.
+        weights: ``(M, C)`` — each of the M filters spans all C channels.
+        stride: spatial subsampling (1x1 filters need no padding/halo).
+
+    Returns:
+        OFMs of shape ``(M, Ho, Wo)``.
+    """
+    if ifm.ndim != 3 or weights.ndim != 2:
+        raise ShapeError(f"expected (C,H,W) and (M,C), got {ifm.shape}, {weights.shape}")
+    if ifm.shape[0] != weights.shape[1]:
+        raise ShapeError(f"channel mismatch: ifm C={ifm.shape[0]}, weights C={weights.shape[1]}")
+    x = ifm[:, ::stride, ::stride]
+    acc = np.int32 if np.issubdtype(ifm.dtype, np.integer) else np.float32
+    return np.tensordot(
+        weights.astype(acc, copy=False), x.astype(acc, copy=False), axes=([1], [0])
+    )
+
+
+def fold_batchnorm(
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float = 1e-5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold inference-time batch-norm statistics into a per-channel affine.
+
+    Returns ``(scale, shift)`` such that ``norm(x) == scale * x + shift``.
+    This is the standard offline transformation the paper's kernels rely on:
+    the normalization layer of an FCM becomes one FMA in the epilogue.
+    """
+    inv_std = 1.0 / np.sqrt(var + eps)
+    scale = gamma * inv_std
+    shift = beta - mean * scale
+    return scale.astype(np.float32), shift.astype(np.float32)
+
+
+def apply_norm(x: np.ndarray, scale: np.ndarray, shift: np.ndarray) -> np.ndarray:
+    """Apply a folded per-channel affine normalization to ``(C, H, W)`` data."""
+    if x.shape[0] != scale.shape[0] or x.shape[0] != shift.shape[0]:
+        raise ShapeError(f"norm params of {scale.shape} do not match {x.shape}")
+    return x * scale[:, None, None] + shift[:, None, None]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def _relu6(x: np.ndarray) -> np.ndarray:
+    return np.clip(x, 0, 6)
+
+
+def _hswish(x: np.ndarray) -> np.ndarray:
+    return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    # tanh approximation, standard in ViT inference kernels
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+#: Activation registry: name -> elementwise callable on fp32 arrays.
+ACTIVATIONS = {
+    "relu": _relu,
+    "relu6": _relu6,
+    "hswish": _hswish,
+    "gelu": _gelu,
+    "identity": _identity,
+    None: _identity,
+}
+
+
+def apply_activation(x: np.ndarray, name: str | None) -> np.ndarray:
+    """Apply a named activation (see :data:`ACTIVATIONS`)."""
+    try:
+        fn = ACTIVATIONS[name]
+    except KeyError:
+        raise ShapeError(f"unknown activation {name!r}") from None
+    return fn(x)

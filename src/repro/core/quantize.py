@@ -1,0 +1,113 @@
+"""INT8 quantization utilities emulating the paper's dp4a-based kernels.
+
+The paper's INT8 kernels use the ``dp4a`` CUDA intrinsic (4-way int8 dot
+product, 32-bit accumulate) and pack every four int8 results into one 32-bit
+word before writing to shared or global memory (paper §III-B).  This module
+provides:
+
+* symmetric per-tensor quantization (scale only, zero-point 0 — the standard
+  inference scheme for dp4a kernels),
+* int32-accumulating dot-product helpers (the dp4a emulation),
+* 4-lane pack/unpack of int8 vectors into int32 words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = [
+    "QuantParams",
+    "choose_scale",
+    "quantize",
+    "dequantize",
+    "requantize",
+    "dp4a_dot",
+    "pack_int8x4",
+    "unpack_int8x4",
+]
+
+_INT8_MIN, _INT8_MAX = -128, 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric quantization parameters: ``real = scale * int8``."""
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.scale) or self.scale <= 0:
+            raise ShapeError(f"quantization scale must be positive, got {self.scale}")
+
+
+def choose_scale(x: np.ndarray) -> QuantParams:
+    """Pick the symmetric scale covering the array's dynamic range.
+
+    ``scale = max|x| / 127``; degenerate all-zero inputs get scale 1 so the
+    mapping stays invertible.
+    """
+    amax = float(np.max(np.abs(x))) if x.size else 0.0
+    return QuantParams(scale=amax / _INT8_MAX if amax > 0 else 1.0)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize fp32 data to int8 with round-to-nearest and saturation."""
+    q = np.rint(np.asarray(x, dtype=np.float64) / params.scale)
+    return np.clip(q, _INT8_MIN, _INT8_MAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map int8 data back to fp32."""
+    return q.astype(np.float32) * np.float32(params.scale)
+
+
+def requantize(
+    acc: np.ndarray, in_params: QuantParams, w_params: QuantParams, out_params: QuantParams
+) -> np.ndarray:
+    """Rescale an int32 accumulator to the int8 output grid.
+
+    ``acc`` holds sums of ``q_in * q_w`` products, so its real value is
+    ``acc * in_scale * w_scale``; dividing by the output scale and rounding
+    gives the int8 result — exactly what the epilogue of a dp4a kernel does.
+    """
+    if not np.issubdtype(acc.dtype, np.integer):
+        raise ShapeError(f"requantize expects an integer accumulator, got {acc.dtype}")
+    multiplier = in_params.scale * w_params.scale / out_params.scale
+    q = np.rint(acc.astype(np.float64) * multiplier)
+    return np.clip(q, _INT8_MIN, _INT8_MAX).astype(np.int8)
+
+
+def dp4a_dot(a: np.ndarray, b: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Dot product of int8 operands with int32 accumulation along ``axis``.
+
+    Numerically identical to a chain of dp4a intrinsics (which never overflow
+    for realistic reduction depths: 127*127*K fits int32 for K < ~133000).
+    """
+    if a.dtype != np.int8 or b.dtype != np.int8:
+        raise ShapeError(f"dp4a_dot expects int8 operands, got {a.dtype}, {b.dtype}")
+    return np.sum(a.astype(np.int32) * b.astype(np.int32), axis=axis, dtype=np.int32)
+
+
+def pack_int8x4(x: np.ndarray) -> np.ndarray:
+    """Pack a flat int8 array (length divisible by 4) into int32 words.
+
+    Models the paper's result packing: "every four results are grouped into
+    one 32-bit integer before writing to any buffer".
+    """
+    flat = np.ascontiguousarray(x, dtype=np.int8).reshape(-1)
+    if flat.size % 4 != 0:
+        raise ShapeError(f"pack_int8x4 needs a multiple of 4 elements, got {flat.size}")
+    return flat.view(np.int32)
+
+
+def unpack_int8x4(words: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`pack_int8x4`, restoring the original shape."""
+    flat = np.ascontiguousarray(words, dtype=np.int32).view(np.int8)
+    expected = int(np.prod(shape))
+    if flat.size != expected:
+        raise ShapeError(f"unpack_int8x4: {flat.size} elements cannot fill shape {shape}")
+    return flat.reshape(shape)

@@ -1,0 +1,84 @@
+"""Lightweight tensor *descriptors* used by the IR and the cost models.
+
+The planner reasons about sizes without materializing data, while the
+functional simulator carries real NumPy arrays.  :class:`TensorSpec` is the
+shared vocabulary: a shape plus a :class:`~repro.core.dtypes.DType`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .dtypes import DType
+
+__all__ = ["TensorSpec", "FeatureMapSpec"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype descriptor of any buffer (weights, FMs, commBuffer)."""
+
+    shape: tuple[int, ...]
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(d <= 0 for d in self.shape):
+            raise ShapeError(f"non-positive dimension in shape {self.shape}")
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count."""
+        return math.prod(self.shape)
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes at the spec's precision."""
+        return self.num_elements * self.dtype.nbytes
+
+    def with_dtype(self, dtype: DType) -> "TensorSpec":
+        """Same shape at a different precision (used for FP32->INT8 sweeps)."""
+        return TensorSpec(self.shape, dtype)
+
+    def zeros(self) -> np.ndarray:
+        """Materialize a zero array matching the spec."""
+        return np.zeros(self.shape, dtype=self.dtype.np_dtype)
+
+
+@dataclass(frozen=True)
+class FeatureMapSpec:
+    """A ``(C, H, W)`` feature-map descriptor with convenience accessors."""
+
+    channels: int
+    height: int
+    width: int
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ShapeError(
+                f"non-positive feature map dims ({self.channels},{self.height},{self.width})"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.channels, self.height, self.width)
+
+    @property
+    def hw(self) -> int:
+        """Spatial extent (H*W) — the paper's ``HW`` postfix."""
+        return self.height * self.width
+
+    @property
+    def num_elements(self) -> int:
+        return self.channels * self.hw
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.nbytes
+
+    def as_tensor(self) -> TensorSpec:
+        return TensorSpec(self.shape, self.dtype)

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised intentionally by this library derive from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ShapeError(ReproError):
+    """A tensor/layer shape is inconsistent (e.g. weights do not match IFMs)."""
+
+
+class CapacityError(ReproError):
+    """A tile set does not fit in the modelled on-chip memory (L1/shared)."""
+
+
+class PlanError(ReproError):
+    """FusePlanner could not produce a feasible plan for a layer or model."""
+
+
+class UnsupportedError(ReproError):
+    """The requested combination (dtype, fusion type, layer kind) is unsupported."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator detected an internal inconsistency during a launch."""

@@ -1,0 +1,12 @@
+"""Analytic counter builders — exact, tensor-free launch accounting.
+
+Thin re-export of :mod:`repro.planner.analytic` (kept there so the runtime
+can use the same builders without an import cycle).  The measured-convention
+estimators equal the simulated kernels' byte/MAC counters exactly (verified
+by integration tests), so experiment harnesses can sweep all fusion cases x
+GPUs without materializing tensors.
+"""
+
+from ..planner.analytic import fcm_counters, lbl_counters, pair_lbl_counters
+
+__all__ = ["lbl_counters", "fcm_counters", "pair_lbl_counters"]

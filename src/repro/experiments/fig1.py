@@ -1,0 +1,78 @@
+"""Figure 1 — motivation: standard vs DSC (DW+PW) vs fused convolution.
+
+The paper's opening figure takes a MobileNet convolution and compares three
+implementations of the same logical layer: a standard KxK convolution, its
+depthwise-separable factorization, and the fused DSC.  It reports operation
+count, weight traffic, feature-map traffic and total memory accesses, all
+normalized to the standard convolution.  DSC slashes operations (~12%) but
+*raises* memory accesses (the intermediate FM round-trip); fusion removes
+that round-trip again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Fig1Row", "figure1", "DEFAULT_LAYER"]
+
+#: MobileNetV1 block 2's geometry: 64 -> 128 channels at 112x112, k=3.
+DEFAULT_LAYER = {"c_in": 64, "c_out": 128, "h": 112, "w": 112, "kernel": 3}
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One bar group of Figure 1 (values normalized to the standard conv)."""
+
+    variant: str
+    operations: float
+    weights: float
+    feature_maps: float
+
+    @property
+    def memory_accesses(self) -> float:
+        return self.weights + self.feature_maps
+
+
+def figure1(
+    c_in: int = DEFAULT_LAYER["c_in"],
+    c_out: int = DEFAULT_LAYER["c_out"],
+    h: int = DEFAULT_LAYER["h"],
+    w: int = DEFAULT_LAYER["w"],
+    kernel: int = 3,
+) -> list[Fig1Row]:
+    """Compute the Figure 1 ratios for one layer geometry.
+
+    Memory accesses follow the figure's layer-granularity accounting: each
+    tensor is moved once per layer executing it (weights + IFMs read, OFMs
+    written; the DSC's intermediate FM is written by the DW and read back by
+    the PW; fusion eliminates exactly that round trip).
+    """
+    hw = h * w
+    k2 = kernel * kernel
+    # Standard convolution.
+    std_ops = c_out * c_in * k2 * hw
+    std_weights = c_out * c_in * k2
+    std_fms = c_in * hw + c_out * hw
+    std_mem = std_weights + std_fms
+    # DSC: DW(k x k) then PW.
+    dsc_ops = c_in * k2 * hw + c_out * c_in * hw
+    dsc_weights = c_in * k2 + c_out * c_in
+    dsc_fms = (c_in * hw + c_in * hw) + (c_in * hw + c_out * hw)
+    # Fused: intermediate never leaves the chip.
+    fused_ops = dsc_ops
+    fused_weights = dsc_weights
+    fused_fms = c_in * hw + c_out * hw
+
+    def norm(ops: int, weights: int, fms: int, name: str) -> Fig1Row:
+        return Fig1Row(
+            variant=name,
+            operations=ops / std_ops,
+            weights=weights / std_mem,
+            feature_maps=fms / std_mem,
+        )
+
+    return [
+        norm(std_ops, std_weights, std_fms, "Standard"),
+        norm(dsc_ops, dsc_weights, dsc_fms, "DSC (DW+PW)"),
+        norm(fused_ops, fused_weights, fused_fms, "Fused"),
+    ]

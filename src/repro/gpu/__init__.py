@@ -1,0 +1,26 @@
+"""Simulated GPU substrate: specs, memory hierarchy, launch engine, roofline, energy."""
+
+from .counters import AccessCounters
+from .energy import EnergyBreakdown, energy_of
+from .executor import LaunchStats, launch
+from .memory import GlobalBuffer, SharedMemory
+from .roofline import KernelTiming, time_kernel
+from .specs import ALL_GPUS, GTX1660, ORIN, RTX_A4000, GpuSpec, gpu_by_name
+
+__all__ = [
+    "AccessCounters",
+    "EnergyBreakdown",
+    "energy_of",
+    "LaunchStats",
+    "launch",
+    "GlobalBuffer",
+    "SharedMemory",
+    "KernelTiming",
+    "time_kernel",
+    "ALL_GPUS",
+    "GTX1660",
+    "ORIN",
+    "RTX_A4000",
+    "GpuSpec",
+    "gpu_by_name",
+]

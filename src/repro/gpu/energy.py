@@ -1,0 +1,52 @@
+"""Energy model — the simulator's substitute for nvidia-smi / tegrastats.
+
+Per-kernel energy decomposes into a static term (board power floor over the
+kernel's runtime) and dynamic terms proportional to the metered work:
+
+``E = P_idle * t + e_dram * global_bytes + e_mac(dtype) * MACs
+    + e_shared * shared_bytes``
+
+The decomposition reproduces the paper's key energy observation (§VI-C):
+because the DRAM term is charged per *byte*, fusion reduces energy even for
+compute-bound kernels whose latency barely improves — which is why measured
+energy savings exceed latency savings on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dtypes import DType
+from .counters import AccessCounters
+from .roofline import KernelTiming
+from .specs import GpuSpec
+
+__all__ = ["EnergyBreakdown", "energy_of"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joule-level decomposition of one kernel or an aggregated execution."""
+
+    static_j: float
+    dram_j: float
+    compute_j: float
+    shared_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.static_j + self.dram_j + self.compute_j + self.shared_j
+
+
+def energy_of(
+    counters: AccessCounters,
+    timing: KernelTiming,
+    gpu: GpuSpec,
+    dtype: DType,
+) -> EnergyBreakdown:
+    """Compute the energy of a metered launch given its roofline timing."""
+    static = gpu.idle_power_w * timing.t_total_s
+    dram = gpu.pj_per_byte_dram * 1e-12 * counters.total_bytes
+    compute = gpu.pj_per_mac(dtype) * 1e-12 * counters.total_macs
+    shared = gpu.pj_per_byte_shared * 1e-12 * counters.shared_bytes
+    return EnergyBreakdown(static_j=static, dram_j=dram, compute_j=compute, shared_j=shared)

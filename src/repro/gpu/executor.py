@@ -1,0 +1,75 @@
+"""Kernel launch engine: drives a grid of thread blocks over simulated SMs.
+
+A simulated kernel exposes a grid of block coordinates and a ``run_block``
+method; the executor launches the grid the way the CUDA runtime would —
+each block gets a fresh block-lifetime :class:`SharedMemory`, blocks are
+distributed round-robin over SMs (for occupancy accounting), and the launch
+itself is charged to the counters (kernel-launch overhead matters: fusion
+halves the launch count, §II-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..errors import SimulationError
+from .counters import AccessCounters
+from .memory import SharedMemory
+from .specs import GpuSpec
+
+__all__ = ["BlockKernel", "LaunchStats", "launch"]
+
+
+class BlockKernel(Protocol):
+    """Structural interface every simulated kernel implements."""
+
+    name: str
+
+    def grid(self) -> Sequence[tuple[int, ...]]:
+        """Block coordinates of the launch grid."""
+        ...
+
+    def run_block(self, coord: tuple[int, ...], shared: SharedMemory) -> None:
+        """Execute one thread block."""
+        ...
+
+
+@dataclass(frozen=True)
+class LaunchStats:
+    """Occupancy-level facts about one launch."""
+
+    kernel_name: str
+    num_blocks: int
+    peak_shared_bytes: int
+    waves: int  # ceil(blocks / SMs): how many rounds the grid needs
+
+    def occupies_all_sms(self, gpu: GpuSpec) -> bool:
+        """Paper constraint: at least one block per SM avoids underutilization."""
+        return self.num_blocks >= gpu.sm_count
+
+
+def launch(kernel: BlockKernel, gpu: GpuSpec, counters: AccessCounters) -> LaunchStats:
+    """Launch a kernel grid on the simulated GPU.
+
+    Every block must keep its shared-memory footprint within the SM budget;
+    a violation raises :class:`~repro.errors.CapacityError` — the simulated
+    analogue of a kernel that cannot launch with the requested dynamic
+    shared memory.
+    """
+    blocks = list(kernel.grid())
+    if not blocks:
+        raise SimulationError(f"kernel {kernel.name!r} launched with an empty grid")
+    counters.kernel_launches += 1
+    peak = 0
+    for coord in blocks:
+        shared = SharedMemory(gpu.shared_bytes, counters)
+        kernel.run_block(coord, shared)
+        peak = max(peak, shared.peak_bytes)
+    waves = -(-len(blocks) // gpu.sm_count)
+    return LaunchStats(
+        kernel_name=kernel.name,
+        num_blocks=len(blocks),
+        peak_shared_bytes=peak,
+        waves=waves,
+    )

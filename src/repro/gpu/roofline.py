@@ -1,0 +1,114 @@
+"""Roofline timing model and compute/memory-bound classification.
+
+The paper measures execution time with CUDA events and classifies kernels via
+Nsight Compute roofline analysis (Table III).  The simulator substitutes an
+analytic roofline over the metered counters:
+
+``t_mem     = global_bytes / peak_bandwidth``
+``t_compute = total_MACs / peak_MAC_throughput(dtype)``
+``t_kernel  = max(t_mem, t_compute) + launches * launch_overhead``
+
+A kernel is *memory-bound* when ``t_mem > t_compute`` — reductions in global
+traffic then translate (nearly) fully into speedup, which is the paper's
+central explanatory mechanism (§VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dtypes import DType
+from .counters import AccessCounters
+from .specs import GpuSpec
+
+__all__ = [
+    "KernelTiming",
+    "time_kernel",
+    "Boundedness",
+    "OUR_KERNEL_UTILIZATION",
+    "OUR_KERNEL_BANDWIDTH_EFF",
+]
+
+#: classification labels matching paper Table III ("C" / "M").
+Boundedness = str
+
+#: Default efficiency of our hand-written direct/fused kernels: ~55% of peak
+#: MAC throughput (between a pure depthwise kernel's ~40% and a well-tiled
+#: GEMM-shaped pointwise kernel's ~70%) and ~90% of peak DRAM bandwidth
+#: (fully coalesced accesses, assumption 1 of §IV-A).  Baselines pass their
+#: own per-algorithm knobs.
+OUR_KERNEL_UTILIZATION = 0.55
+OUR_KERNEL_BANDWIDTH_EFF = 0.90
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing decomposition of one kernel (or an aggregate of kernels)."""
+
+    t_memory_s: float
+    t_compute_s: float
+    t_launch_s: float
+    read_bytes: int
+    write_bytes: int
+
+    @property
+    def t_total_s(self) -> float:
+        """End-to-end kernel time under the overlap-of-pipes roofline."""
+        return max(self.t_memory_s, self.t_compute_s) + self.t_launch_s
+
+    @property
+    def bound(self) -> Boundedness:
+        """'M' if memory-bound, 'C' if compute-bound (paper Table III)."""
+        return "M" if self.t_memory_s > self.t_compute_s else "C"
+
+    @property
+    def t_mem_read_s(self) -> float:
+        """Share of memory time spent on loads (Fig. 8 breakdown)."""
+        total = self.read_bytes + self.write_bytes
+        return self.t_memory_s * (self.read_bytes / total) if total else 0.0
+
+    @property
+    def t_mem_write_s(self) -> float:
+        """Share of memory time spent on stores (Fig. 8 breakdown)."""
+        total = self.read_bytes + self.write_bytes
+        return self.t_memory_s * (self.write_bytes / total) if total else 0.0
+
+
+def time_kernel(
+    counters: AccessCounters,
+    gpu: GpuSpec,
+    dtype: DType,
+    *,
+    utilization: float = OUR_KERNEL_UTILIZATION,
+    bandwidth_efficiency: float = OUR_KERNEL_BANDWIDTH_EFF,
+) -> KernelTiming:
+    """Apply the roofline to a counter tally.
+
+    Args:
+        counters: metered traffic/compute of the launch(es).
+        gpu: architecture model providing the peaks.
+        dtype: precision, which sets the MAC peak (dp4a quadruples INT8).
+        utilization: fraction of peak MAC throughput the kernel can reach
+            (baselines with poor occupancy pass < 1; our kernels use 1).
+        bandwidth_efficiency: fraction of peak DRAM bandwidth achieved
+            (uncoalesced baselines pass < 1).
+    """
+    if not 0 < utilization <= 1 or not 0 < bandwidth_efficiency <= 1:
+        raise ValueError("utilization/bandwidth_efficiency must be in (0, 1]")
+    # Re-reads of tensors that fit in L2 are served on-chip at ~4x the DRAM
+    # bandwidth instead of going to device memory.  GMA totals (what the
+    # paper's equations count) are unchanged; only the time model benefits.
+    l2_bytes = min(counters.l2_absorbable_bytes(int(gpu.l2_mb * 1e6)),
+                   counters.total_bytes)
+    dram_bytes = counters.total_bytes - l2_bytes
+    bw = gpu.peak_bytes_per_s * bandwidth_efficiency
+    t_mem = dram_bytes / bw + l2_bytes / (4.0 * bw)
+    t_cmp = counters.total_macs / (gpu.peak_macs_per_s(dtype) * utilization)
+    t_launch = counters.kernel_launches * gpu.kernel_launch_us * 1e-6
+    return KernelTiming(
+        t_memory_s=t_mem,
+        t_compute_s=t_cmp,
+        t_launch_s=t_launch,
+        read_bytes=counters.read_bytes,
+        write_bytes=counters.write_bytes,
+    )

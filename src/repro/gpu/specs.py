@@ -1,0 +1,166 @@
+"""GPU architecture descriptors and the paper's three evaluation GPUs (Table I).
+
+:class:`GpuSpec` carries exactly what FusePlanner consumes — SM count, L1 size
+and the portion configurable as shared memory (paper §IV) — plus the roofline
+and energy constants the timing/energy models need (peak bandwidth, clock,
+per-byte / per-MAC energies).  The capacity figures follow paper Table I; the
+bandwidth/clock/power figures come from the public datasheets of the same
+parts and are documented per preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dtypes import DType
+from ..errors import ShapeError
+
+__all__ = ["GpuSpec", "GTX1660", "RTX_A4000", "ORIN", "ALL_GPUS", "gpu_by_name"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Architecture model of one CUDA-capable GPU.
+
+    Attributes:
+        name: short identifier used in reports ("GTX", "RTX", "Orin").
+        compute_capability: CUDA compute capability (informational).
+        sm_count: number of streaming multiprocessors.
+        cuda_cores: total CUDA cores (across all SMs).
+        l1_kb: L1/shared capacity per SM in KiB (paper Table I column).
+        shared_kb: portion of L1 configurable as shared memory, per SM.
+        l2_mb: device-level L2 capacity (informational; the paper's cost
+            models operate on L1 only).
+        dram: off-chip memory technology label.
+        dram_bw_gbps: peak off-chip bandwidth in GB/s.
+        clock_ghz: sustained SM clock.
+        warp_size: threads per warp (32 on all CUDA GPUs).
+        kernel_launch_us: fixed host-side cost per kernel launch.
+        idle_power_w: board power floor attributed to an active kernel.
+        pj_per_byte_dram: energy per off-chip byte moved.
+        pj_per_mac_fp32: energy per FP32 multiply-accumulate.
+        pj_per_byte_shared: energy per shared-memory byte moved.
+    """
+
+    name: str
+    compute_capability: str
+    sm_count: int
+    cuda_cores: int
+    l1_kb: int
+    shared_kb: int
+    l2_mb: float
+    dram: str
+    dram_bw_gbps: float
+    clock_ghz: float
+    warp_size: int = 32
+    kernel_launch_us: float = 4.0
+    idle_power_w: float = 20.0
+    pj_per_byte_dram: float = 25.0
+    pj_per_mac_fp32: float = 1.2
+    pj_per_byte_shared: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.sm_count, self.cuda_cores, self.l1_kb, self.shared_kb) <= 0:
+            raise ShapeError(f"{self.name}: non-positive GPU resource")
+        if self.shared_kb > self.l1_kb:
+            raise ShapeError(f"{self.name}: shared portion exceeds L1 size")
+        if self.dram_bw_gbps <= 0 or self.clock_ghz <= 0:
+            raise ShapeError(f"{self.name}: non-positive bandwidth or clock")
+
+    # ---- derived capacities -----------------------------------------------
+    @property
+    def l1_bytes(self) -> int:
+        """L1 capacity per SM in bytes — Eq. 2-4's ``L1Sz``."""
+        return self.l1_kb * 1024
+
+    @property
+    def shared_bytes(self) -> int:
+        """Shared-memory capacity per SM in bytes (commBuffer budget)."""
+        return self.shared_kb * 1024
+
+    @property
+    def cores_per_sm(self) -> int:
+        return self.cuda_cores // self.sm_count
+
+    # ---- roofline peaks -----------------------------------------------------
+    def peak_macs_per_s(self, dtype: DType) -> float:
+        """Peak MAC throughput at the given precision (dp4a quadruples INT8)."""
+        return self.cuda_cores * self.clock_ghz * 1e9 * dtype.macs_per_core_cycle
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return self.dram_bw_gbps * 1e9
+
+    def machine_balance(self, dtype: DType) -> float:
+        """MACs per DRAM byte at the roofline ridge point."""
+        return self.peak_macs_per_s(dtype) / self.peak_bytes_per_s
+
+    def pj_per_mac(self, dtype: DType) -> float:
+        """Per-MAC energy; INT8 MACs cost ~1/4 of FP32 (4 lanes share a core)."""
+        return self.pj_per_mac_fp32 / dtype.macs_per_core_cycle
+
+
+#: GTX 1660 — Turing TU116: 22 SMs, 1408 cores, 96 KiB L1/shared per SM
+#: (Table I), 192 GB/s GDDR5, ~1.78 GHz boost.
+GTX1660 = GpuSpec(
+    name="GTX",
+    compute_capability="7.5",
+    sm_count=22,
+    cuda_cores=1408,
+    l1_kb=96,
+    shared_kb=64,
+    l2_mb=1.5,
+    dram="GDDR5",
+    dram_bw_gbps=192.0,
+    clock_ghz=1.785,
+    idle_power_w=18.0,
+    pj_per_byte_dram=28.0,
+    pj_per_mac_fp32=1.3,
+)
+
+#: RTX A4000 — Ampere GA104: Table I lists 128 KiB L1 per SM and 6144 cores.
+#: 448 GB/s GDDR6, ~1.56 GHz boost.
+RTX_A4000 = GpuSpec(
+    name="RTX",
+    compute_capability="8.6",
+    sm_count=48,
+    cuda_cores=6144,
+    l1_kb=128,
+    shared_kb=100,
+    l2_mb=4.0,
+    dram="GDDR6",
+    dram_bw_gbps=448.0,
+    clock_ghz=1.56,
+    idle_power_w=30.0,
+    pj_per_byte_dram=22.0,
+    pj_per_mac_fp32=1.0,
+)
+
+#: Jetson AGX Orin — Ampere iGPU: 16 SMs, 2048 cores, 192 KiB L1 per SM
+#: (Table I), 204.8 GB/s LPDDR5 (shared with CPU), ~1.3 GHz.
+ORIN = GpuSpec(
+    name="Orin",
+    compute_capability="8.7",
+    sm_count=16,
+    cuda_cores=2048,
+    l1_kb=192,
+    shared_kb=164,
+    l2_mb=4.0,
+    dram="LPDDR5",
+    dram_bw_gbps=204.8,
+    clock_ghz=1.3,
+    idle_power_w=10.0,
+    pj_per_byte_dram=15.0,
+    pj_per_mac_fp32=0.9,
+)
+
+#: The three evaluation GPUs in the paper's reporting order.
+ALL_GPUS: tuple[GpuSpec, ...] = (GTX1660, RTX_A4000, ORIN)
+
+
+def gpu_by_name(name: str) -> GpuSpec:
+    """Look a preset up by its report name ('GTX', 'RTX', 'Orin')."""
+    for g in ALL_GPUS:
+        if g.name.lower() == name.lower():
+            return g
+    raise ShapeError(f"unknown GPU {name!r}; presets: {[g.name for g in ALL_GPUS]}")

@@ -1,0 +1,177 @@
+"""Reusable network block builders: DSC and inverted-residual blocks.
+
+These mirror the two module families the paper targets (Fig. 4): MobileNetV1
+and Xception are stacks of depthwise-separable convolutions (DW then PW);
+MobileNetV2 and ProxylessNAS stack inverted residuals (PW expand, DW, PW
+project).  Each builder appends fully shape-resolved :class:`ConvSpec` nodes
+to a :class:`~repro.ir.graph.ModelGraph` and returns the name of the last node
+added, so blocks chain naturally.
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..core.ops import out_dim
+from .graph import GlueSpec, ModelGraph
+from .layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["dsc_block", "inverted_residual_block", "standard_conv"]
+
+
+def standard_conv(
+    graph: ModelGraph,
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    in_h: int,
+    in_w: int,
+    kernel: int = 3,
+    stride: int = 1,
+    activation: str | None = "relu",
+    dtype: DType = DType.FP32,
+    after: str | None = None,
+) -> str:
+    """Append one standard convolution (used for stem layers)."""
+    spec = ConvSpec(
+        name=name,
+        kind=ConvKind.STANDARD,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        in_h=in_h,
+        in_w=in_w,
+        kernel=kernel,
+        stride=stride,
+        padding=kernel // 2,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=activation),
+    )
+    return graph.add(spec, after=after)
+
+
+def dsc_block(
+    graph: ModelGraph,
+    name: str,
+    channels_in: int,
+    channels_out: int,
+    in_h: int,
+    in_w: int,
+    stride: int = 1,
+    kernel: int = 3,
+    activation: str | None = "relu",
+    dtype: DType = DType.FP32,
+    after: str | None = None,
+) -> str:
+    """Depthwise-separable convolution block: DW(kxk, stride) then PW(1x1).
+
+    Returns the name of the PW layer (the block output).
+    """
+    dw = ConvSpec(
+        name=f"{name}_dw",
+        kind=ConvKind.DEPTHWISE,
+        in_channels=channels_in,
+        out_channels=channels_in,
+        in_h=in_h,
+        in_w=in_w,
+        kernel=kernel,
+        stride=stride,
+        padding=kernel // 2,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=activation),
+    )
+    graph.add(dw, after=after)
+    pw = ConvSpec(
+        name=f"{name}_pw",
+        kind=ConvKind.POINTWISE,
+        in_channels=channels_in,
+        out_channels=channels_out,
+        in_h=dw.out_h,
+        in_w=dw.out_w,
+        kernel=1,
+        stride=1,
+        padding=0,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=activation),
+    )
+    return graph.add(pw)
+
+
+def inverted_residual_block(
+    graph: ModelGraph,
+    name: str,
+    channels_in: int,
+    channels_out: int,
+    in_h: int,
+    in_w: int,
+    expansion: int = 6,
+    stride: int = 1,
+    kernel: int = 3,
+    activation: str | None = "relu6",
+    dtype: DType = DType.FP32,
+    after: str | None = None,
+) -> str:
+    """Inverted residual (MobileNetV2 style): PW-expand, DW, PW-project.
+
+    The projecting PW has a linear (identity) activation — the paper's Fig. 4
+    shows the trailing PW of an inverted residual without an activation layer.
+    When ``stride == 1`` and ``channels_in == channels_out``, a residual add
+    glue node joins the block input and output, which makes the expanding PW
+    of the *next* block a multi-consumer boundary exactly as in the real nets.
+
+    Returns the name of the block's final node (add glue or projecting PW).
+    """
+    hidden = channels_in * expansion
+    # The block input (residual source) is the predecessor we were given.
+    entry = after
+    if expansion != 1:
+        pw1 = ConvSpec(
+            name=f"{name}_pw_exp",
+            kind=ConvKind.POINTWISE,
+            in_channels=channels_in,
+            out_channels=hidden,
+            in_h=in_h,
+            in_w=in_w,
+            dtype=dtype,
+            epilogue=EpilogueSpec(norm=True, activation=activation),
+        )
+        entry_name = graph.add(pw1, after=after)
+        dw_in_c, dw_h, dw_w = hidden, in_h, in_w
+        dw_after: str | None = entry_name
+    else:
+        dw_in_c, dw_h, dw_w = channels_in, in_h, in_w
+        dw_after = after
+    dw = ConvSpec(
+        name=f"{name}_dw",
+        kind=ConvKind.DEPTHWISE,
+        in_channels=dw_in_c,
+        out_channels=dw_in_c,
+        in_h=dw_h,
+        in_w=dw_w,
+        kernel=kernel,
+        stride=stride,
+        padding=kernel // 2,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=activation),
+    )
+    graph.add(dw, after=dw_after)
+    pw2 = ConvSpec(
+        name=f"{name}_pw_proj",
+        kind=ConvKind.POINTWISE,
+        in_channels=dw_in_c,
+        out_channels=channels_out,
+        in_h=dw.out_h,
+        in_w=dw.out_w,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=None),
+    )
+    proj_name = graph.add(pw2)
+    if stride == 1 and channels_in == channels_out and entry is not None:
+        out_h = out_dim(in_h, kernel, stride, kernel // 2)
+        out_w = out_dim(in_w, kernel, stride, kernel // 2)
+        add = GlueSpec(
+            name=f"{name}_add",
+            op="add",
+            out_elements=channels_out * out_h * out_w,
+            flops=channels_out * out_h * out_w,
+        )
+        return graph.add(add, after=[entry, proj_name])
+    return proj_name

@@ -1,0 +1,166 @@
+"""Model DAG: an ordered graph of :class:`~repro.ir.layers.ConvSpec` nodes.
+
+The paper's FusePlanner consumes "a DAG representing a model or set of layers,
+their weight and FM specifications, and the layers connectivity" (§IV).  We
+build that DAG on networkx.  Non-convolutional glue (residual adds, pooling,
+classifier) is carried as opaque :class:`GlueSpec` nodes so end-to-end
+sessions account for them identically in ours and the baselines' executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import networkx as nx
+
+from ..errors import ShapeError
+from .layers import ConvKind, ConvSpec
+
+__all__ = ["GlueSpec", "ModelGraph", "FusionCandidate"]
+
+
+@dataclass(frozen=True)
+class GlueSpec:
+    """Non-convolutional node (residual add, pooling, flatten, dense...).
+
+    These execute identically in all compared implementations; they carry just
+    enough information (output bytes moved) for end-to-end accounting.
+    """
+
+    name: str
+    op: str
+    out_elements: int
+    flops: int = 0
+
+
+@dataclass(frozen=True)
+class FusionCandidate:
+    """A producer->consumer conv pair eligible for FCM fusion."""
+
+    first: ConvSpec
+    second: ConvSpec
+
+    @property
+    def pair_kinds(self) -> tuple[str, str]:
+        return (self.first.kind.short, self.second.kind.short)
+
+
+class ModelGraph:
+    """A directed acyclic graph of model layers.
+
+    Nodes are layer names; each carries a ``spec`` attribute holding either a
+    :class:`ConvSpec` or a :class:`GlueSpec`.  Edges follow dataflow.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._g = nx.DiGraph()
+        self._order: list[str] = []
+
+    # ---- construction ------------------------------------------------------
+    def add(self, spec: ConvSpec | GlueSpec, after: str | list[str] | None = None) -> str:
+        """Add a layer, optionally wiring it after one or more existing layers.
+
+        Returns the layer name for chaining.  By default the new node is wired
+        after the most recently added node (linear model building).
+        """
+        if spec.name in self._g:
+            raise ShapeError(f"duplicate layer name {spec.name!r} in model {self.name!r}")
+        preds: list[str]
+        if after is None:
+            preds = [self._order[-1]] if self._order else []
+        elif isinstance(after, str):
+            preds = [after]
+        else:
+            preds = list(after)
+        for p in preds:
+            if p not in self._g:
+                raise ShapeError(f"unknown predecessor {p!r} for layer {spec.name!r}")
+        self._g.add_node(spec.name, spec=spec)
+        for p in preds:
+            self._g.add_edge(p, spec.name)
+        self._order.append(spec.name)
+        return spec.name
+
+    # ---- access -----------------------------------------------------------
+    def spec(self, name: str) -> ConvSpec | GlueSpec:
+        try:
+            return self._g.nodes[name]["spec"]
+        except KeyError:
+            raise ShapeError(f"no layer named {name!r} in model {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._g
+
+    def __len__(self) -> int:
+        return self._g.number_of_nodes()
+
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._g
+
+    def topological(self) -> Iterator[ConvSpec | GlueSpec]:
+        """Specs in a deterministic topological order (insertion-stable)."""
+        order = list(nx.lexicographical_topological_sort(self._g, key=self._order.index))
+        for name in order:
+            yield self._g.nodes[name]["spec"]
+
+    def conv_layers(self) -> list[ConvSpec]:
+        """All convolutional layers in topological order."""
+        return [s for s in self.topological() if isinstance(s, ConvSpec)]
+
+    def successors(self, name: str) -> list[str]:
+        return sorted(self._g.successors(name), key=self._order.index)
+
+    def predecessors(self, name: str) -> list[str]:
+        return sorted(self._g.predecessors(name), key=self._order.index)
+
+    # ---- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check acyclicity and conv-to-conv shape compatibility along edges."""
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise ShapeError(f"model {self.name!r} contains a cycle")
+        for u, v in self._g.edges:
+            su, sv = self.spec(u), self.spec(v)
+            if isinstance(su, ConvSpec) and isinstance(sv, ConvSpec):
+                if (su.out_channels, su.out_h, su.out_w) != (
+                    sv.in_channels,
+                    sv.in_h,
+                    sv.in_w,
+                ):
+                    raise ShapeError(
+                        f"shape mismatch on edge {u}->{v}: "
+                        f"{su.out_channels}x{su.out_h}x{su.out_w} vs "
+                        f"{sv.in_channels}x{sv.in_h}x{sv.in_w}"
+                    )
+
+    # ---- fusion candidates ---------------------------------------------------
+    def fusion_candidates(self) -> list[FusionCandidate]:
+        """Conv pairs eligible for FCM fusion (paper Fig. 4).
+
+        A pair qualifies when the producer is a DW or PW conv whose *only*
+        consumer is the DW/PW conv that follows it (fusing a multi-consumer
+        intermediate would force recomputation for the other consumers), and
+        the pair is one of DW->PW, PW->DW, PW->PW.
+        """
+        out: list[FusionCandidate] = []
+        for name in self._order:
+            first = self.spec(name)
+            if not isinstance(first, ConvSpec):
+                continue
+            if first.kind is ConvKind.STANDARD:
+                continue
+            succ = self.successors(name)
+            if len(succ) != 1:
+                continue
+            second = self.spec(succ[0])
+            if not isinstance(second, ConvSpec) or second.kind is ConvKind.STANDARD:
+                continue
+            if len(self.predecessors(succ[0])) != 1:
+                continue
+            if (first.kind, second.kind) == (ConvKind.DEPTHWISE, ConvKind.DEPTHWISE):
+                continue
+            out.append(FusionCandidate(first=first, second=second))
+        return out

@@ -1,0 +1,110 @@
+"""Kernel base class and launch results.
+
+Simulated kernels follow the structure of the paper's FCM skeleton
+(Listing 1): per thread block they (1) allocate shared buffers, (2) prefetch
+weight tiles, (3) compute the first conv-norm-act into the commBuffer, and
+(4) compute the second from it.  LBL kernels are the degenerate single-stage
+case.  :meth:`SimKernel.simulate` wires up instrumented global buffers, runs
+the grid through :func:`repro.gpu.executor.launch`, and returns both the
+functional output and the metered statistics.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.dtypes import DType
+from ..errors import ShapeError
+from ..gpu.counters import AccessCounters
+from ..gpu.energy import EnergyBreakdown, energy_of
+from ..gpu.executor import LaunchStats, launch
+from ..gpu.memory import GlobalBuffer, SharedMemory
+from ..gpu.roofline import KernelTiming, time_kernel
+from ..gpu.specs import GpuSpec
+
+__all__ = ["KernelResult", "SimKernel"]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Everything one simulated launch produced."""
+
+    output: np.ndarray
+    counters: AccessCounters
+    stats: LaunchStats
+    gpu: GpuSpec
+    dtype: DType
+
+    def timing(self) -> KernelTiming:
+        """Roofline timing of the launch on the result's GPU."""
+        return time_kernel(self.counters, self.gpu, self.dtype)
+
+    def energy(self) -> EnergyBreakdown:
+        """Energy of the launch on the result's GPU."""
+        return energy_of(self.counters, self.timing(), self.gpu, self.dtype)
+
+
+class SimKernel(abc.ABC):
+    """A simulated GPU kernel: a grid of blocks over instrumented buffers."""
+
+    #: kernel name used in reports and error messages.
+    name: str
+    #: storage precision of feature maps and weights.
+    dtype: DType
+
+    @abc.abstractmethod
+    def grid(self) -> Sequence[tuple[int, ...]]:
+        """Block coordinates of the launch grid."""
+
+    @abc.abstractmethod
+    def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
+        """Wrap inputs/outputs/weights into instrumented global buffers."""
+
+    @abc.abstractmethod
+    def run_block(self, coord: tuple[int, ...], shared: SharedMemory) -> None:
+        """Execute one thread block against the bound buffers."""
+
+    @abc.abstractmethod
+    def output_array(self) -> np.ndarray:
+        """The OFM array after the launch."""
+
+    def finalize(self, counters: AccessCounters) -> None:
+        """Post-launch accounting hook (e.g. redundant-MAC reclassification)."""
+
+    def check_capacity(self, gpu: GpuSpec) -> None:
+        """Validate the L1 working-set constraint before launching.
+
+        Kernels override this with their Eq. 2/3/4 tile-footprint check; the
+        shared-memory portion is additionally enforced at runtime by
+        :class:`~repro.gpu.memory.SharedMemory`.
+        """
+
+    # ---- common machinery -------------------------------------------------
+    def make_buffer(
+        self, name: str, array: np.ndarray, kind: str, counters: AccessCounters
+    ) -> GlobalBuffer:
+        """Instrumented buffer at the kernel's storage width."""
+        return GlobalBuffer(name, array, kind, counters, elem_bytes=self.dtype.nbytes)
+
+    def simulate(self, ifm: np.ndarray, gpu: GpuSpec) -> KernelResult:
+        """Run the kernel on ``ifm`` and return output + metered statistics."""
+        if ifm.dtype != self.dtype.np_dtype:
+            raise ShapeError(
+                f"{self.name}: IFM dtype {ifm.dtype} does not match kernel {self.dtype}"
+            )
+        counters = AccessCounters()
+        self.check_capacity(gpu)
+        self.bind(ifm, counters)
+        stats = launch(self, gpu, counters)
+        self.finalize(counters)
+        return KernelResult(
+            output=self.output_array(),
+            counters=counters,
+            stats=stats,
+            gpu=gpu,
+            dtype=self.dtype,
+        )

@@ -1,0 +1,72 @@
+"""Kernel registry: build LBL or FCM kernels from specs + tiling choices.
+
+The planner emits *what* to run (fuse or not, which FCM type, which tile
+sizes); this registry turns those decisions into concrete simulated kernels.
+Tile-size vocabularies differ per kernel, so the registry also defines the
+canonical tiling-dict keys each kernel understands.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.fcm import FcmType
+from ..core.tiling import DwTiling, PwTiling
+from ..errors import UnsupportedError
+from ..ir.layers import ConvKind
+from .base import SimKernel
+from .direct_dw import DwDirectKernel
+from .direct_pw import PwDirectKernel
+from .fused_dwpw import DwPwFusedKernel
+from .fused_pwdw import PwDwFusedKernel
+from .fused_pwdw_r import PwDwRFusedKernel
+from .fused_pwpw import PwPwFusedKernel
+from .params import LayerParams
+
+__all__ = ["build_lbl_kernel", "build_fcm_kernel"]
+
+
+def build_lbl_kernel(params: LayerParams, tiling: Mapping[str, int]) -> SimKernel:
+    """Build the layer-by-layer kernel for one DW or PW layer.
+
+    ``tiling`` keys: PW -> ``tile_m``, ``tile_hw``; DW -> ``tile_c``,
+    ``tile_h``, ``tile_w``.
+    """
+    kind = params.spec.kind
+    if kind is ConvKind.POINTWISE:
+        return PwDirectKernel(params, PwTiling(tiling["tile_m"], tiling["tile_hw"]))
+    if kind is ConvKind.DEPTHWISE:
+        return DwDirectKernel(
+            params, DwTiling(tiling["tile_c"], tiling["tile_h"], tiling["tile_w"])
+        )
+    raise UnsupportedError(f"no direct LBL kernel for {kind} layers in this library")
+
+
+def build_fcm_kernel(
+    fcm_type: FcmType,
+    first: LayerParams,
+    second: LayerParams,
+    tiling: Mapping[str, int],
+) -> SimKernel:
+    """Build a fused kernel of the given FCM type.
+
+    ``tiling`` keys per type:
+
+    * DWPW   -> ``tile_h``, ``tile_w``, ``tile_m``
+    * PWDW   -> ``tile_f``
+    * PWDW_R -> ``tile_f``, ``tile_h``, ``tile_w``
+    * PWPW   -> ``tile_hw``, ``tile_m``
+    """
+    if fcm_type is FcmType.DWPW:
+        return DwPwFusedKernel(
+            first, second, tiling["tile_h"], tiling["tile_w"], tiling["tile_m"]
+        )
+    if fcm_type is FcmType.PWDW:
+        return PwDwFusedKernel(first, second, tiling["tile_f"])
+    if fcm_type is FcmType.PWDW_R:
+        return PwDwRFusedKernel(
+            first, second, tiling["tile_f"], tiling["tile_h"], tiling["tile_w"]
+        )
+    if fcm_type is FcmType.PWPW:
+        return PwPwFusedKernel(first, second, tiling["tile_hw"], tiling["tile_m"])
+    raise UnsupportedError(f"unknown FCM type {fcm_type}")

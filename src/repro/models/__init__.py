@@ -1,0 +1,24 @@
+"""The paper's six workload models: 4 CNNs + 2 convolutional ViTs."""
+
+from .ceit import build_ceit
+from .cmt import build_cmt
+from .mobilenet_v1 import build_mobilenet_v1
+from .mobilenet_v2 import build_mobilenet_v2
+from .proxylessnas import build_proxylessnas
+from .xception import build_xception
+from .zoo import CNN_MODELS, MODELS, PAPER_LABELS, VIT_MODELS, build_model, model_names
+
+__all__ = [
+    "build_ceit",
+    "build_cmt",
+    "build_mobilenet_v1",
+    "build_mobilenet_v2",
+    "build_proxylessnas",
+    "build_xception",
+    "CNN_MODELS",
+    "MODELS",
+    "PAPER_LABELS",
+    "VIT_MODELS",
+    "build_model",
+    "model_names",
+]

@@ -1,0 +1,92 @@
+"""CeiT (Yuan et al., 2021) convolutional structure — the paper's ``CeiT``.
+
+CeiT is a convolutional ViT: an Image-to-Tokens stem (conv + pool + patch
+projection) and 12 encoder blocks whose feed-forward network is a LeFF —
+Locally-enhanced Feed-Forward: expand the 14x14 token grid channel-wise with
+a 1x1 conv (the linear layer viewed spatially), apply a 3x3 *depthwise*
+convolution over the grid, and project back with another 1x1 conv.  The
+PW-DW-PW chains inside LeFF are exactly where the paper draws its CeiT fusion
+cases (F9/F10).  Self-attention is carried as glue FLOPs — it contains no
+DW/PW convolutions.
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["build_ceit"]
+
+_DEPTH = 12
+_DIM = 192  # CeiT-T embedding dim
+_EXPAND = 4
+_TOKENS = 14  # 14x14 patch grid
+
+
+def build_ceit(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the CeiT-T conv DAG (batch 1, 224x224x3 input)."""
+    g = ModelGraph("ceit")
+    # Image-to-Tokens: conv stem, pool, then patch-projection conv.
+    g.add(
+        ConvSpec(
+            "i2t_conv", ConvKind.STANDARD, 3, 32, 224, 224, kernel=7, stride=2,
+            padding=3, dtype=dtype,
+        )
+    )
+    last = g.add(GlueSpec(name="i2t_pool", op="maxpool2", out_elements=32 * 56 * 56))
+    last = g.add(
+        ConvSpec(
+            "i2t_proj", ConvKind.STANDARD, 32, _DIM, 56, 56, kernel=4, stride=4,
+            padding=0, dtype=dtype,
+            epilogue=EpilogueSpec(norm=True, activation=None),
+        ),
+        after=last,
+    )
+    hidden = _DIM * _EXPAND
+    for i in range(1, _DEPTH + 1):
+        attn_in = last
+        attn = g.add(
+            GlueSpec(
+                name=f"blk{i}_attn",
+                op="attention",
+                out_elements=_DIM * _TOKENS * _TOKENS,
+                flops=4 * _DIM * _DIM * _TOKENS**2 + 2 * _DIM * _TOKENS**4,
+            ),
+            after=attn_in,
+        )
+        res1 = g.add(
+            GlueSpec(name=f"blk{i}_add1", op="add", out_elements=_DIM * _TOKENS**2),
+            after=[attn_in, attn],
+        )
+        # LeFF: PW expand -> DW 3x3 over the token grid -> PW project.
+        pw1 = g.add(
+            ConvSpec(
+                f"blk{i}_leff_pw1", ConvKind.POINTWISE, _DIM, hidden, _TOKENS, _TOKENS,
+                dtype=dtype, epilogue=EpilogueSpec(norm=True, activation="gelu"),
+            ),
+            after=res1,
+        )
+        dw = g.add(
+            ConvSpec(
+                f"blk{i}_leff_dw", ConvKind.DEPTHWISE, hidden, hidden, _TOKENS, _TOKENS,
+                kernel=3, stride=1, padding=1, dtype=dtype,
+                epilogue=EpilogueSpec(norm=True, activation="gelu"),
+            ),
+            after=pw1,
+        )
+        pw2 = g.add(
+            ConvSpec(
+                f"blk{i}_leff_pw2", ConvKind.POINTWISE, hidden, _DIM, _TOKENS, _TOKENS,
+                dtype=dtype, epilogue=EpilogueSpec(norm=True, activation=None),
+            ),
+            after=dw,
+        )
+        last = g.add(
+            GlueSpec(name=f"blk{i}_add2", op="add", out_elements=_DIM * _TOKENS**2),
+            after=[res1, pw2],
+        )
+    g.add(GlueSpec(name="head_pool", op="gap", out_elements=_DIM), after=last)
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * _DIM * 1000))
+    g.validate()
+    return g

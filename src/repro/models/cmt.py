@@ -1,0 +1,109 @@
+"""CMT (Guo et al., 2022) convolutional structure — the paper's ``CMT``.
+
+CMT interleaves convolutions and attention in four stages.  Convolutional
+content per block: a Local Perception Unit (residual DW3x3) and an IRFFN
+(inverted-residual FFN: PW expand, DW3x3, PW project, residual).  Stage
+transitions are 2x2 stride-2 patch-aggregation convolutions.  The PW-PW
+seams between a block's projecting PW and the next block's expanding PW, and
+the PW-DW chains inside IRFFN, supply the paper's CMT fusion cases (F11/F12).
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["build_cmt"]
+
+#: CMT-S: four stages of (dim, depth) at strides 4/8/16/32.
+_STAGES: tuple[tuple[int, int], ...] = ((64, 3), (128, 3), (256, 16), (512, 3))
+_EXPAND = 4
+
+
+def build_cmt(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the CMT-S conv DAG (batch 1, 224x224x3 input)."""
+    g = ModelGraph("cmt")
+    g.add(
+        ConvSpec("stem1", ConvKind.STANDARD, 3, 32, 224, 224, kernel=3, stride=2,
+                 padding=1, dtype=dtype, epilogue=EpilogueSpec(norm=True, activation="gelu"))
+    )
+    g.add(
+        ConvSpec("stem2", ConvKind.STANDARD, 32, 32, 112, 112, kernel=3, stride=1,
+                 padding=1, dtype=dtype, epilogue=EpilogueSpec(norm=True, activation="gelu"))
+    )
+    last = g.add(
+        ConvSpec("stem3", ConvKind.STANDARD, 32, 32, 112, 112, kernel=3, stride=1,
+                 padding=1, dtype=dtype, epilogue=EpilogueSpec(norm=True, activation="gelu"))
+    )
+    c, h, w = 32, 112, 112
+    for si, (dim, depth) in enumerate(_STAGES, start=1):
+        # Patch aggregation: 2x2 stride-2 conv (valid padding).
+        last = g.add(
+            ConvSpec(
+                f"s{si}_patch", ConvKind.STANDARD, c, dim, h, w, kernel=2, stride=2,
+                padding=0, dtype=dtype, epilogue=EpilogueSpec(norm=True, activation=None),
+            ),
+            after=last,
+        )
+        c, h, w = dim, h // 2, w // 2
+        hidden = dim * _EXPAND
+        for bi in range(1, depth + 1):
+            name = f"s{si}b{bi}"
+            # Local Perception Unit: residual DW 3x3.
+            lpu_in = last
+            lpu = g.add(
+                ConvSpec(
+                    f"{name}_lpu_dw", ConvKind.DEPTHWISE, dim, dim, h, w, kernel=3,
+                    stride=1, padding=1, dtype=dtype,
+                    epilogue=EpilogueSpec(norm=True, activation=None),
+                ),
+                after=lpu_in,
+            )
+            lpu_add = g.add(
+                GlueSpec(name=f"{name}_lpu_add", op="add", out_elements=dim * h * w),
+                after=[lpu_in, lpu],
+            )
+            # Lightweight MHSA (k/v spatially reduced) — glue FLOPs only.
+            attn = g.add(
+                GlueSpec(
+                    name=f"{name}_attn", op="attention", out_elements=dim * h * w,
+                    flops=4 * dim * dim * h * w,
+                ),
+                after=lpu_add,
+            )
+            attn_add = g.add(
+                GlueSpec(name=f"{name}_attn_add", op="add", out_elements=dim * h * w),
+                after=[lpu_add, attn],
+            )
+            # IRFFN: PW expand -> DW3x3 -> PW project (+ residual).
+            pw1 = g.add(
+                ConvSpec(
+                    f"{name}_ffn_pw1", ConvKind.POINTWISE, dim, hidden, h, w,
+                    dtype=dtype, epilogue=EpilogueSpec(norm=True, activation="gelu"),
+                ),
+                after=attn_add,
+            )
+            dw = g.add(
+                ConvSpec(
+                    f"{name}_ffn_dw", ConvKind.DEPTHWISE, hidden, hidden, h, w,
+                    kernel=3, stride=1, padding=1, dtype=dtype,
+                    epilogue=EpilogueSpec(norm=True, activation="gelu"),
+                ),
+                after=pw1,
+            )
+            pw2 = g.add(
+                ConvSpec(
+                    f"{name}_ffn_pw2", ConvKind.POINTWISE, hidden, dim, h, w,
+                    dtype=dtype, epilogue=EpilogueSpec(norm=True, activation=None),
+                ),
+                after=dw,
+            )
+            last = g.add(
+                GlueSpec(name=f"{name}_ffn_add", op="add", out_elements=dim * h * w),
+                after=[attn_add, pw2],
+            )
+    g.add(GlueSpec(name="gap", op="gap", out_elements=c), after=last)
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * c * 1000))
+    g.validate()
+    return g

@@ -1,0 +1,48 @@
+"""MobileNetV1 (Howard et al., 2017) at 224x224 — the paper's ``Mob_v1``.
+
+A linear stack: one standard stem convolution followed by 13 depthwise-
+separable blocks (DW3x3 + PW1x1), global average pooling and a classifier.
+Its simple chain topology is why the paper sees its largest end-to-end
+speedups here: TVM's graph optimizations have nothing extra to fold (§VI-C).
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.blocks import dsc_block, standard_conv
+from ..ir.graph import GlueSpec, ModelGraph
+
+__all__ = ["build_mobilenet_v1"]
+
+#: (out_channels, stride) of the 13 DSC blocks; spatial sizes follow.
+_BLOCKS: tuple[tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+)
+
+
+def build_mobilenet_v1(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the MobileNetV1 DAG (batch 1, 224x224x3 input)."""
+    g = ModelGraph("mobilenet_v1")
+    standard_conv(g, "stem", 3, 32, 224, 224, kernel=3, stride=2, dtype=dtype)
+    c, h, w = 32, 112, 112
+    for i, (out_c, stride) in enumerate(_BLOCKS, start=1):
+        dsc_block(g, f"b{i}", c, out_c, h, w, stride=stride, dtype=dtype)
+        c = out_c
+        h = (h + 2 - 3) // stride + 1
+        w = (w + 2 - 3) // stride + 1
+    g.add(GlueSpec(name="gap", op="gap", out_elements=c))
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * c * 1000))
+    g.validate()
+    return g

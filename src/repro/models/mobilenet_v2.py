@@ -1,0 +1,72 @@
+"""MobileNetV2 (Sandler et al., 2018) at 224x224 — the paper's ``Mob_v2``.
+
+A stack of inverted residual bottlenecks (PW-expand, DW3x3, linear
+PW-project) described by the standard (t, c, n, s) table.  Stride-1 blocks
+with matching channels carry a residual add — the glue node TVM fuses but our
+conv-conv runtime pays for, per the paper's complex-DAG observation.
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.blocks import inverted_residual_block, standard_conv
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["build_mobilenet_v2"]
+
+#: (expansion t, out channels c, repeats n, first stride s) — paper table.
+_SETTINGS: tuple[tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def build_mobilenet_v2(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the MobileNetV2 DAG (batch 1, 224x224x3 input)."""
+    g = ModelGraph("mobilenet_v2")
+    last = standard_conv(
+        g, "stem", 3, 32, 224, 224, kernel=3, stride=2, activation="relu6", dtype=dtype
+    )
+    c, h, w = 32, 112, 112
+    idx = 0
+    for t, out_c, n, s in _SETTINGS:
+        for rep in range(n):
+            stride = s if rep == 0 else 1
+            idx += 1
+            last = inverted_residual_block(
+                g,
+                f"ir{idx}",
+                c,
+                out_c,
+                h,
+                w,
+                expansion=t,
+                stride=stride,
+                activation="relu6",
+                dtype=dtype,
+                after=last,
+            )
+            c = out_c
+            h = (h + 2 - 3) // stride + 1
+            w = (w + 2 - 3) // stride + 1
+    head = ConvSpec(
+        name="head_pw",
+        kind=ConvKind.POINTWISE,
+        in_channels=c,
+        out_channels=1280,
+        in_h=h,
+        in_w=w,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation="relu6"),
+    )
+    last = g.add(head, after=last)
+    g.add(GlueSpec(name="gap", op="gap", out_elements=1280), after=last)
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * 1280 * 1000))
+    g.validate()
+    return g

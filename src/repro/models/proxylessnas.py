@@ -1,0 +1,79 @@
+"""ProxylessNAS (Cai et al., 2019), GPU-searched variant — the paper's ``Prox``.
+
+ProxylessNAS searches per-block expansion ratios and DW kernel sizes; the
+GPU-optimized network is shallow-and-wide with large kernels in late stages.
+The table below follows the released GPU architecture's shape progression
+(representative, as the paper uses it only as a DW/PW workload source).
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.blocks import inverted_residual_block, standard_conv
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["build_proxylessnas"]
+
+#: (expansion, out_channels, kernel, stride) per MBConv block.
+_BLOCKS: tuple[tuple[int, int, int, int], ...] = (
+    (1, 24, 3, 1),
+    (3, 32, 5, 2),
+    (3, 32, 3, 1),
+    (3, 32, 3, 1),
+    (6, 56, 7, 2),
+    (3, 56, 3, 1),
+    (3, 56, 3, 1),
+    (6, 112, 5, 2),
+    (3, 112, 5, 1),
+    (3, 112, 5, 1),
+    (6, 128, 3, 1),
+    (3, 128, 5, 1),
+    (3, 128, 5, 1),
+    (6, 256, 7, 2),
+    (3, 256, 7, 1),
+    (3, 256, 7, 1),
+    (6, 432, 7, 1),
+)
+
+
+def build_proxylessnas(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the ProxylessNAS-GPU DAG (batch 1, 224x224x3 input)."""
+    g = ModelGraph("proxylessnas")
+    last = standard_conv(
+        g, "stem", 3, 40, 224, 224, kernel=3, stride=2, activation="relu6", dtype=dtype
+    )
+    c, h, w = 40, 112, 112
+    for i, (t, out_c, k, s) in enumerate(_BLOCKS, start=1):
+        last = inverted_residual_block(
+            g,
+            f"mb{i}",
+            c,
+            out_c,
+            h,
+            w,
+            expansion=t,
+            stride=s,
+            kernel=k,
+            activation="relu6",
+            dtype=dtype,
+            after=last,
+        )
+        c = out_c
+        h = (h + 2 * (k // 2) - k) // s + 1
+        w = (w + 2 * (k // 2) - k) // s + 1
+    head = ConvSpec(
+        name="head_pw",
+        kind=ConvKind.POINTWISE,
+        in_channels=c,
+        out_channels=1728,
+        in_h=h,
+        in_w=w,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation="relu6"),
+    )
+    last = g.add(head, after=last)
+    g.add(GlueSpec(name="gap", op="gap", out_elements=1728), after=last)
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * 1728 * 1000))
+    g.validate()
+    return g

@@ -1,0 +1,142 @@
+"""Xception (Chollet, 2017) at 299x299 — the paper's ``XCe``.
+
+Entry flow (two standard convs + three downsampling separable blocks with
+strided 1x1-conv shortcuts), middle flow (8 residual blocks of three
+DW+PW separable convolutions at 19x19x728), and exit flow.  The strided
+shortcut convolutions are genuine pointwise layers (kernel 1, stride 2) but
+sit on multi-consumer branches, so FusePlanner correctly never fuses them.
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..ir.blocks import standard_conv
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
+
+__all__ = ["build_xception"]
+
+
+def _sepconv(
+    g: ModelGraph,
+    name: str,
+    c_in: int,
+    c_out: int,
+    h: int,
+    w: int,
+    dtype: DType,
+    after: str | None = None,
+    activation: str | None = "relu",
+) -> str:
+    """Xception separable conv: DW3x3 (stride 1) then PW, both batch-normed."""
+    dw = ConvSpec(
+        name=f"{name}_dw",
+        kind=ConvKind.DEPTHWISE,
+        in_channels=c_in,
+        out_channels=c_in,
+        in_h=h,
+        in_w=w,
+        kernel=3,
+        stride=1,
+        padding=1,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=None),
+    )
+    g.add(dw, after=after)
+    pw = ConvSpec(
+        name=f"{name}_pw",
+        kind=ConvKind.POINTWISE,
+        in_channels=c_in,
+        out_channels=c_out,
+        in_h=h,
+        in_w=w,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=activation),
+    )
+    return g.add(pw)
+
+
+def _pool(g: ModelGraph, name: str, c: int, h: int, w: int, after: str) -> tuple[str, int, int]:
+    """3x3 stride-2 max pool (padding 1)."""
+    oh = (h + 2 - 3) // 2 + 1
+    ow = (w + 2 - 3) // 2 + 1
+    node = g.add(GlueSpec(name=name, op="maxpool2", out_elements=c * oh * ow), after=after)
+    return node, oh, ow
+
+
+def _shortcut(
+    g: ModelGraph, name: str, c_in: int, c_out: int, h: int, w: int, dtype: DType, after: str
+) -> str:
+    """Strided 1x1 projection on the residual branch (linear, batch-normed)."""
+    pw = ConvSpec(
+        name=name,
+        kind=ConvKind.POINTWISE,
+        in_channels=c_in,
+        out_channels=c_out,
+        in_h=h,
+        in_w=w,
+        kernel=1,
+        stride=2,
+        padding=0,
+        dtype=dtype,
+        epilogue=EpilogueSpec(norm=True, activation=None),
+    )
+    return g.add(pw, after=after)
+
+
+def build_xception(dtype: DType = DType.FP32) -> ModelGraph:
+    """Build the Xception DAG (batch 1, 299x299x3 input)."""
+    g = ModelGraph("xception")
+    g.add(
+        ConvSpec(
+            "stem1", ConvKind.STANDARD, 3, 32, 299, 299, kernel=3, stride=2, padding=0,
+            dtype=dtype,
+        )
+    )
+    last = g.add(
+        ConvSpec(
+            "stem2", ConvKind.STANDARD, 32, 64, 149, 149, kernel=3, stride=1, padding=0,
+            dtype=dtype,
+        )
+    )
+    h = w = 147
+    c = 64
+    # Entry flow: three residual downsampling blocks.
+    for i, c_out in enumerate((128, 256, 728), start=1):
+        entry = last
+        s1 = _sepconv(g, f"entry{i}_sep1", c, c_out, h, w, dtype, after=entry)
+        s2 = _sepconv(g, f"entry{i}_sep2", c_out, c_out, h, w, dtype, after=s1)
+        pool, oh, ow = _pool(g, f"entry{i}_pool", c_out, h, w, after=s2)
+        short = _shortcut(g, f"entry{i}_short", c, c_out, h, w, dtype, after=entry)
+        last = g.add(
+            GlueSpec(name=f"entry{i}_add", op="add", out_elements=c_out * oh * ow),
+            after=[pool, short],
+        )
+        c, h, w = c_out, oh, ow
+    # Middle flow: 8 x (3 separable convs + residual add) at 19x19x728.
+    for i in range(1, 9):
+        entry = last
+        s = entry
+        for j in range(1, 4):
+            s = _sepconv(g, f"mid{i}_sep{j}", c, c, h, w, dtype, after=s)
+        last = g.add(
+            GlueSpec(name=f"mid{i}_add", op="add", out_elements=c * h * w),
+            after=[s, entry],
+        )
+    # Exit flow.
+    entry = last
+    s1 = _sepconv(g, "exit_sep1", 728, 728, h, w, dtype, after=entry)
+    s2 = _sepconv(g, "exit_sep2", 728, 1024, h, w, dtype, after=s1)
+    pool, oh, ow = _pool(g, "exit_pool", 1024, h, w, after=s2)
+    short = _shortcut(g, "exit_short", 728, 1024, h, w, dtype, after=entry)
+    last = g.add(
+        GlueSpec(name="exit_add", op="add", out_elements=1024 * oh * ow),
+        after=[pool, short],
+    )
+    h, w = oh, ow
+    s3 = _sepconv(g, "exit_sep3", 1024, 1536, h, w, dtype, after=last)
+    s4 = _sepconv(g, "exit_sep4", 1536, 2048, h, w, dtype, after=s3)
+    g.add(GlueSpec(name="gap", op="gap", out_elements=2048), after=s4)
+    g.add(GlueSpec(name="classifier", op="dense", out_elements=1000, flops=2 * 2048 * 1000))
+    g.validate()
+    return g

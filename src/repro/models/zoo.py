@@ -1,0 +1,59 @@
+"""Model registry: the paper's six workload networks (§V-B)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.dtypes import DType
+from ..errors import UnsupportedError
+from ..ir.graph import ModelGraph
+from .ceit import build_ceit
+from .cmt import build_cmt
+from .mobilenet_v1 import build_mobilenet_v1
+from .mobilenet_v2 import build_mobilenet_v2
+from .proxylessnas import build_proxylessnas
+from .xception import build_xception
+
+__all__ = ["MODELS", "CNN_MODELS", "VIT_MODELS", "build_model", "model_names"]
+
+#: Builder registry keyed by the paper's model labels.
+MODELS: dict[str, Callable[[DType], ModelGraph]] = {
+    "mobilenet_v1": build_mobilenet_v1,
+    "mobilenet_v2": build_mobilenet_v2,
+    "xception": build_xception,
+    "proxylessnas": build_proxylessnas,
+    "ceit": build_ceit,
+    "cmt": build_cmt,
+}
+
+#: The four CNNs used in the end-to-end TVM comparison (Fig. 10/11).
+CNN_MODELS: tuple[str, ...] = ("mobilenet_v1", "mobilenet_v2", "xception", "proxylessnas")
+
+#: The two convolutional ViTs (fusion-case workloads only).
+VIT_MODELS: tuple[str, ...] = ("ceit", "cmt")
+
+#: Pretty labels matching the paper's figures.
+PAPER_LABELS: dict[str, str] = {
+    "mobilenet_v1": "Mob_v1",
+    "mobilenet_v2": "Mob_v2",
+    "xception": "XCe",
+    "proxylessnas": "Prox",
+    "ceit": "CeiT",
+    "cmt": "CMT",
+}
+
+
+def model_names() -> tuple[str, ...]:
+    """All registered model names, papers' reporting order."""
+    return tuple(MODELS)
+
+
+def build_model(name: str, dtype: DType = DType.FP32) -> ModelGraph:
+    """Build a registered model at the requested precision."""
+    try:
+        builder = MODELS[name]
+    except KeyError:
+        raise UnsupportedError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return builder(dtype)

@@ -1,0 +1,43 @@
+"""FusePlanner: cost models (paper Eq. 1-4), tile search, and the DAG planner."""
+
+from .costs import (
+    GmaEstimate,
+    dw_feasible,
+    dw_gma,
+    dw_tile_footprint,
+    lbl_gma,
+    loaded_axis_elems,
+    pw_feasible,
+    pw_gma,
+    pw_tile_footprint,
+)
+from .fcm_costs import FcmCost, fcm_feasible, fcm_footprints, fcm_gma
+from .plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
+from .planner import FusePlanner, FusionDecision
+from .search import SearchResult, best_fcm_tiling, best_lbl_tiling
+
+__all__ = [
+    "GmaEstimate",
+    "dw_feasible",
+    "dw_gma",
+    "dw_tile_footprint",
+    "lbl_gma",
+    "loaded_axis_elems",
+    "pw_feasible",
+    "pw_gma",
+    "pw_tile_footprint",
+    "FcmCost",
+    "fcm_feasible",
+    "fcm_footprints",
+    "fcm_gma",
+    "ExecutionPlan",
+    "FcmStep",
+    "GlueStep",
+    "LblStep",
+    "StdStep",
+    "FusePlanner",
+    "FusionDecision",
+    "SearchResult",
+    "best_fcm_tiling",
+    "best_lbl_tiling",
+]

@@ -1,0 +1,204 @@
+"""Layer-by-layer global-memory-access estimators (paper Eq. 2 and Eq. 3).
+
+Costs are computed in *elements* and converted to bytes with the layer dtype,
+since the equations are element-counting identities.  Two conventions are
+implemented:
+
+* ``paper`` — the equations exactly as printed.  Two notational choices are
+  resolved as documented in DESIGN.md: Eq. 2's weight-reload factor is read
+  as the number of *spatial* OFM tiles (consistent with Eq. 3), and Eq. 3
+  charges overlap as ``2 x IFMsD x Overlap``.
+* ``measured`` — what an OS-LWS kernel actually issues, with border clamping
+  and one extra load per shared halo element; this convention matches the
+  simulator's byte counters exactly and is verified by integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tiling import DwTiling, PwTiling, ceil_div, overlap_elements, tile_input_range
+from ..errors import ShapeError, UnsupportedError
+from ..gpu.specs import GpuSpec
+from ..ir.layers import ConvKind, ConvSpec
+
+__all__ = [
+    "GmaEstimate",
+    "pw_gma",
+    "dw_gma",
+    "lbl_gma",
+    "loaded_axis_elems",
+    "pw_tile_footprint",
+    "dw_tile_footprint",
+    "pw_feasible",
+    "dw_feasible",
+    "STREAM_CHUNK",
+    "streamed_matmul_l1_bytes",
+]
+
+_CONVENTIONS = ("paper", "measured")
+
+
+@dataclass(frozen=True)
+class GmaEstimate:
+    """A global-memory-access estimate for one kernel configuration."""
+
+    reads_elems: int
+    writes_elems: int
+    elem_bytes: int
+
+    @property
+    def total_elems(self) -> int:
+        return self.reads_elems + self.writes_elems
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_elems * self.elem_bytes
+
+    @property
+    def read_bytes(self) -> int:
+        return self.reads_elems * self.elem_bytes
+
+    @property
+    def write_bytes(self) -> int:
+        return self.writes_elems * self.elem_bytes
+
+
+def _check_convention(convention: str) -> None:
+    if convention not in _CONVENTIONS:
+        raise UnsupportedError(f"unknown cost convention {convention!r}; use {_CONVENTIONS}")
+
+
+def loaded_axis_elems(
+    out_size: int, tile: int, kernel: int, stride: int, padding: int, in_size: int
+) -> int:
+    """Input elements loaded along one axis, summed over all tiles (clamped).
+
+    This is the measured-convention analogue of ``size + overlap``: each tile
+    loads its halo-extended window, borders clamp to the feature map.
+    """
+    total = 0
+    for t0 in range(0, out_size, tile):
+        tlen = min(tile, out_size - t0)
+        lo, hi = tile_input_range(t0, tlen, kernel, stride, padding, in_size)
+        total += max(hi - lo, 0)
+    return total
+
+
+def pw_gma(spec: ConvSpec, tiling: PwTiling, convention: str = "paper") -> GmaEstimate:
+    """Eq. 2: pointwise-layer global memory accesses under OS-LWS tiling.
+
+    ``PwGMA = ceil(WeightsSz/WeightsTileSz) * IFMsSz + OFMsSz
+            + n_spatial_tiles * WeightsSz``
+    """
+    _check_convention(convention)
+    if spec.kind is not ConvKind.POINTWISE:
+        raise ShapeError(f"{spec.name}: pw_gma needs a pointwise layer")
+    m, c = spec.out_channels, spec.in_channels
+    out_hw = spec.out_h * spec.out_w
+    weights = m * c
+    # A strided PW only reads the subsampled pixels; for the ubiquitous
+    # stride-1 case this equals the paper's IFMsSz.
+    ifm_read_once = c * out_hw
+    n_w_tiles = tiling.num_filter_tiles(m)
+    n_sp_tiles = tiling.num_spatial_tiles(out_hw)
+    reads = n_w_tiles * ifm_read_once + n_sp_tiles * weights
+    writes = m * out_hw
+    return GmaEstimate(reads, writes, spec.dtype.nbytes)
+
+
+def dw_gma(spec: ConvSpec, tiling: DwTiling, convention: str = "paper") -> GmaEstimate:
+    """Eq. 3: depthwise-layer global memory accesses under OS-LWS tiling.
+
+    ``DwGMA = 2 * IFMsD * Overlap + IFMsSz + OFMsSz
+            + ceil(OFMsHW / OFMsTileHW) * WeightsSz``
+    """
+    _check_convention(convention)
+    if spec.kind is not ConvKind.DEPTHWISE:
+        raise ShapeError(f"{spec.name}: dw_gma needs a depthwise layer")
+    c, k, s, pad = spec.in_channels, spec.kernel, spec.stride, spec.padding
+    weights = c * k * k
+    n_sp_tiles = tiling.num_spatial_tiles(spec.out_h, spec.out_w)
+    if convention == "paper":
+        ovl = overlap_elements(
+            channel_w=spec.in_w,
+            channel_h=spec.in_h,
+            tile_w=tiling.tile_w * s,
+            tile_h=tiling.tile_h * s,
+            filter_w=k,
+            filter_h=k,
+            stride=s,
+        )
+        reads = 2 * c * ovl + c * spec.in_h * spec.in_w + n_sp_tiles * weights
+    else:
+        rows = loaded_axis_elems(spec.out_h, tiling.tile_h, k, s, pad, spec.in_h)
+        cols = loaded_axis_elems(spec.out_w, tiling.tile_w, k, s, pad, spec.in_w)
+        reads = c * rows * cols + n_sp_tiles * weights
+    writes = c * spec.out_h * spec.out_w
+    return GmaEstimate(reads, writes, spec.dtype.nbytes)
+
+
+def lbl_gma(
+    spec: ConvSpec, tiling: PwTiling | DwTiling, convention: str = "paper"
+) -> GmaEstimate:
+    """Dispatch Eq. 2 / Eq. 3 by layer kind."""
+    if spec.kind is ConvKind.POINTWISE:
+        if not isinstance(tiling, PwTiling):
+            raise ShapeError(f"{spec.name}: pointwise layer needs a PwTiling")
+        return pw_gma(spec, tiling, convention)
+    if spec.kind is ConvKind.DEPTHWISE:
+        if not isinstance(tiling, DwTiling):
+            raise ShapeError(f"{spec.name}: depthwise layer needs a DwTiling")
+        return dw_gma(spec, tiling, convention)
+    raise UnsupportedError(f"{spec.name}: no LBL cost model for {spec.kind}")
+
+
+# ---- feasibility constraints (shared with the FCM estimators) -----------------
+
+#: Reduction-dimension streaming chunk (elements).  Output-stationary kernels
+#: keep partial sums in registers and stream the C dimension through L1 in
+#: chunks — the standard GEMM discipline.  Streaming changes *residency*, not
+#: the GMA totals of Eq. 2-4, so the tile-fit constraints charge the chunk
+#: rather than the full reduction extent.
+STREAM_CHUNK = 8
+
+
+def streamed_matmul_l1_bytes(m_tile: int, n_tile: int, elem_bytes: int) -> int:
+    """L1 working set of an OS matmul tile with reduction streaming.
+
+    The resident set is the output tile (partial sums) plus one weights chunk
+    (``m_tile x STREAM_CHUNK``) and one input chunk (``STREAM_CHUNK x n_tile``).
+    """
+    return (m_tile * n_tile + STREAM_CHUNK * (m_tile + n_tile)) * elem_bytes
+
+
+def pw_tile_footprint(spec: ConvSpec, tiling: PwTiling) -> int:
+    """Eq. 2's L1 constraint operand with reduction streaming, in bytes."""
+    return streamed_matmul_l1_bytes(tiling.tile_m, tiling.tile_hw, spec.dtype.nbytes)
+
+
+def dw_tile_footprint(spec: ConvSpec, tiling: DwTiling) -> int:
+    """Eq. 3's L1 constraint operand, with the halo-extended input tile."""
+    k, s = spec.kernel, spec.stride
+    eb = spec.dtype.nbytes
+    in_h = (tiling.tile_h - 1) * s + k
+    in_w = (tiling.tile_w - 1) * s + k
+    return (
+        tiling.tile_c * in_h * in_w
+        + tiling.tile_c * tiling.tile_h * tiling.tile_w
+        + tiling.tile_c * k * k
+    ) * eb
+
+
+def pw_feasible(spec: ConvSpec, tiling: PwTiling, gpu: GpuSpec) -> bool:
+    """Both Eq. 2 constraints: L1 fit and >= #SMs output tiles."""
+    if pw_tile_footprint(spec, tiling) > gpu.l1_bytes:
+        return False
+    return tiling.num_ofm_tiles(spec.out_channels, spec.out_h * spec.out_w) >= gpu.sm_count
+
+
+def dw_feasible(spec: ConvSpec, tiling: DwTiling, gpu: GpuSpec) -> bool:
+    """Both Eq. 3 constraints: L1 fit and >= #SMs output tiles."""
+    if dw_tile_footprint(spec, tiling) > gpu.l1_bytes:
+        return False
+    return tiling.num_ofm_tiles(spec.in_channels, spec.out_h, spec.out_w) >= gpu.sm_count

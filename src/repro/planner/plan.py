@@ -1,0 +1,146 @@
+"""Execution-plan data structures — FusePlanner's output.
+
+A plan lists, in topological order, the steps an inference session executes:
+fused FCM steps (two convs, one kernel), layer-by-layer conv steps, and glue
+steps (residual adds, pooling, ...).  Each conv-bearing step carries the tile
+sizes and the estimated GMA that justified the decision (paper Fig. 5's
+"FCMs / LBL" output box).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dtypes import DType
+from ..core.fcm import FcmType
+from ..gpu.specs import GpuSpec
+from ..ir.graph import GlueSpec
+from ..ir.layers import ConvSpec
+
+__all__ = ["LblStep", "FcmStep", "GlueStep", "StdStep", "ExecutionPlan"]
+
+
+@dataclass(frozen=True)
+class LblStep:
+    """One unfused DW or PW convolution with its chosen tiling."""
+
+    spec: ConvSpec
+    tiling: dict[str, int]
+    est_gma_bytes: int
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        return (self.spec.name,)
+
+
+@dataclass(frozen=True)
+class FcmStep:
+    """One fused module: two convolutions executed as a single kernel."""
+
+    fcm_type: FcmType
+    first: ConvSpec
+    second: ConvSpec
+    tiling: dict[str, int]
+    est_gma_bytes: int
+    est_lbl_gma_bytes: int  # what the two layers would cost unfused
+    redundancy_ratio: float
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        return (self.first.name, self.second.name)
+
+    @property
+    def est_savings_bytes(self) -> int:
+        return self.est_lbl_gma_bytes - self.est_gma_bytes
+
+
+@dataclass(frozen=True)
+class StdStep:
+    """A standard convolution (stem/exit layers) — outside FCM scope.
+
+    Executed identically by our runtime and the baselines so end-to-end
+    comparisons isolate the DW/PW treatment.
+    """
+
+    spec: ConvSpec
+
+
+@dataclass(frozen=True)
+class GlueStep:
+    """A non-convolutional node carried through for end-to-end accounting."""
+
+    spec: GlueSpec
+
+
+PlanStep = LblStep | FcmStep | StdStep | GlueStep
+
+
+@dataclass
+class ExecutionPlan:
+    """FusePlanner's decision for one model on one GPU at one precision."""
+
+    model_name: str
+    gpu: GpuSpec
+    dtype: DType
+    steps: list[PlanStep] = field(default_factory=list)
+
+    # ---- summaries ----------------------------------------------------------
+    @property
+    def fcm_steps(self) -> list[FcmStep]:
+        return [s for s in self.steps if isinstance(s, FcmStep)]
+
+    @property
+    def lbl_steps(self) -> list[LblStep]:
+        return [s for s in self.steps if isinstance(s, LblStep)]
+
+    @property
+    def num_conv_layers(self) -> int:
+        """DW/PW conv layers covered by the plan (fused ones count as two)."""
+        return 2 * len(self.fcm_steps) + len(self.lbl_steps)
+
+    @property
+    def fused_layer_fraction(self) -> float:
+        """Fraction of DW/PW layers executing inside an FCM (paper: 46-58%)."""
+        n = self.num_conv_layers
+        return (2 * len(self.fcm_steps) / n) if n else 0.0
+
+    @property
+    def est_total_gma_bytes(self) -> int:
+        total = 0
+        for s in self.steps:
+            if isinstance(s, (LblStep, FcmStep)):
+                total += s.est_gma_bytes
+        return total
+
+    @property
+    def est_savings_bytes(self) -> int:
+        """Estimated GMA saved versus the all-LBL plan."""
+        return sum(s.est_savings_bytes for s in self.fcm_steps)
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        lines = [
+            f"ExecutionPlan[{self.model_name} on {self.gpu.name}, {self.dtype}]:"
+        ]
+        for s in self.steps:
+            if isinstance(s, FcmStep):
+                lines.append(
+                    f"  FCM {s.fcm_type.name:7s} {s.first.name}+{s.second.name} "
+                    f"tiles={s.tiling} gma={s.est_gma_bytes}B "
+                    f"(saves {s.est_savings_bytes}B, redund {s.redundancy_ratio:.1%})"
+                )
+            elif isinstance(s, LblStep):
+                lines.append(
+                    f"  LBL {s.spec.kind.short:3s}     {s.spec.name} "
+                    f"tiles={s.tiling} gma={s.est_gma_bytes}B"
+                )
+            elif isinstance(s, StdStep):
+                lines.append(f"  STD         {s.spec.name}")
+            else:
+                lines.append(f"  GLUE        {s.spec.name} ({s.spec.op})")
+        lines.append(
+            f"  -> {len(self.fcm_steps)} FCMs, {len(self.lbl_steps)} LBL layers, "
+            f"fused fraction {self.fused_layer_fraction:.0%}, "
+            f"est GMA {self.est_total_gma_bytes} B"
+        )
+        return "\n".join(lines)

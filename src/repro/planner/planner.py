@@ -1,0 +1,167 @@
+"""FusePlanner: decide which layers to fuse and with which tile sizes.
+
+Paper §IV / Fig. 5: given GPU specs and a model DAG, FusePlanner (1) makes a
+first pass estimating each DW/PW layer's minimum layer-by-layer GMA (Eq. 2/3),
+(2) examines every possible fusion and evaluates its GMA (Eq. 4 family), and
+(3) suggests fusing whenever an FCM's minimum estimated GMA undercuts the sum
+of its constituents' LBL minima.
+
+Overlapping candidates (a PW may fuse backward with a DW or forward with the
+next conv) are resolved optimally as a maximum-weight matching on the layer
+graph with edge weights = estimated GMA savings — each conv joins at most one
+FCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.dtypes import DType
+from ..core.fcm import FcmType, candidate_fcm_types
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind, ConvSpec
+from .plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
+from .search import SearchResult, best_fcm_tiling, best_lbl_tiling
+
+__all__ = ["FusePlanner", "FusionDecision"]
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """Outcome of evaluating one candidate pair."""
+
+    first: ConvSpec
+    second: ConvSpec
+    fcm_type: FcmType
+    fcm: SearchResult
+    lbl_first: SearchResult
+    lbl_second: SearchResult
+
+    @property
+    def savings_bytes(self) -> int:
+        return self.lbl_first.gma_bytes + self.lbl_second.gma_bytes - self.fcm.gma_bytes
+
+
+class FusePlanner:
+    """Cost-model-driven fusion and tiling planner (paper Fig. 5)."""
+
+    def __init__(self, gpu: GpuSpec, convention: str = "paper") -> None:
+        self.gpu = gpu
+        self.convention = convention
+        self._lbl_cache: dict[str, SearchResult] = {}
+
+    # ---- single-layer pass ---------------------------------------------------
+    def lbl_plan(self, spec: ConvSpec) -> SearchResult:
+        """Minimum-GMA layer-by-layer tiling for one DW/PW layer (cached)."""
+        key = f"{spec.name}|{spec.dtype.value}|{spec.in_h}x{spec.in_w}"
+        if key not in self._lbl_cache:
+            self._lbl_cache[key] = best_lbl_tiling(spec, self.gpu, self.convention)
+        return self._lbl_cache[key]
+
+    # ---- pair evaluation --------------------------------------------------------
+    def evaluate_pair(self, first: ConvSpec, second: ConvSpec) -> FusionDecision | None:
+        """Best feasible FCM for a pair, or ``None`` if no module is feasible.
+
+        When both PWDW variants are feasible the one with lower estimated GMA
+        wins; ties prefer the redundancy-free module.
+        """
+        types = candidate_fcm_types(first.kind.short, second.kind.short)
+        best: tuple[int, float, FcmType, SearchResult] | None = None
+        for t in types:
+            res = best_fcm_tiling(t, first, second, self.gpu, self.convention)
+            if res is None:
+                continue
+            key = (res.gma_bytes, res.redundancy_ratio, t, res)
+            if best is None or key[:2] < best[:2]:
+                best = key
+        if best is None:
+            return None
+        return FusionDecision(
+            first=first,
+            second=second,
+            fcm_type=best[2],
+            fcm=best[3],
+            lbl_first=self.lbl_plan(first),
+            lbl_second=self.lbl_plan(second),
+        )
+
+    # ---- whole-model pass ------------------------------------------------------
+    def plan(self, graph: ModelGraph, dtype: DType | None = None) -> ExecutionPlan:
+        """Produce the execution plan for a model DAG.
+
+        Args:
+            graph: the model; conv layers must already be at the target
+                precision, or pass ``dtype`` to re-type them on the fly.
+        """
+        graph.validate()
+        retype = (lambda s: s.with_dtype(dtype)) if dtype is not None else (lambda s: s)
+
+        # Pass 1+2: evaluate every fusion candidate.
+        decisions: list[FusionDecision] = []
+        for cand in graph.fusion_candidates():
+            first, second = retype(cand.first), retype(cand.second)
+            try:
+                dec = self.evaluate_pair(first, second)
+            except PlanError:
+                continue  # a constituent has no feasible LBL tiling either
+            if dec is not None and dec.savings_bytes > 0:
+                decisions.append(dec)
+
+        # Pass 3: optimal non-overlapping selection via max-weight matching.
+        m = nx.Graph()
+        for i, dec in enumerate(decisions):
+            m.add_edge(dec.first.name, dec.second.name, weight=dec.savings_bytes, idx=i)
+        chosen_pairs = nx.max_weight_matching(m, maxcardinality=False)
+        chosen: dict[str, FusionDecision] = {}
+        for u, v in chosen_pairs:
+            idx = m.edges[u, v]["idx"]
+            dec = decisions[idx]
+            chosen[dec.first.name] = dec
+
+        plan = ExecutionPlan(
+            model_name=graph.name,
+            gpu=self.gpu,
+            dtype=dtype if dtype is not None else _graph_dtype(graph),
+        )
+        fused_seconds = {d.second.name for d in chosen.values()}
+        for spec in graph.topological():
+            if isinstance(spec, GlueSpec):
+                plan.steps.append(GlueStep(spec))
+                continue
+            spec = retype(spec)
+            if spec.name in chosen:
+                dec = chosen[spec.name]
+                plan.steps.append(
+                    FcmStep(
+                        fcm_type=dec.fcm_type,
+                        first=dec.first,
+                        second=dec.second,
+                        tiling=dec.fcm.tiling,
+                        est_gma_bytes=dec.fcm.gma_bytes,
+                        est_lbl_gma_bytes=dec.lbl_first.gma_bytes
+                        + dec.lbl_second.gma_bytes,
+                        redundancy_ratio=dec.fcm.redundancy_ratio,
+                    )
+                )
+                continue
+            if spec.name in fused_seconds:
+                continue  # consumed by its producer's FCM step
+            if spec.kind is ConvKind.STANDARD:
+                plan.steps.append(StdStep(spec))
+                continue
+            lbl = self.lbl_plan(spec)
+            plan.steps.append(
+                LblStep(spec=spec, tiling=lbl.tiling, est_gma_bytes=lbl.gma_bytes)
+            )
+        return plan
+
+
+def _graph_dtype(graph: ModelGraph) -> DType:
+    for spec in graph.topological():
+        if isinstance(spec, ConvSpec):
+            return spec.dtype
+    raise PlanError(f"model {graph.name!r} has no convolutional layers")

@@ -1,0 +1,162 @@
+"""Tile-size search: enumerate feasible tilings and minimize estimated GMA.
+
+FusePlanner "explores all tile sizes that meet the constraints in Equations
+2, 3 and 4 and identifies the ones that minimize the global memory accesses"
+(§IV-B), with candidates "restricted to multiples of the warp size to avoid
+resource underutilization".  The warp rule applies to a thread block's
+*thread count* — the product of the tile dimensions — so late layers with
+tiny spatial extents (7x7) can still trade pixels for filters.  Among
+feasible configurations, warp-multiple blocks are preferred, then minimum
+GMA, then larger tiles (fewer blocks) as the tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Iterable, Mapping
+
+from ..core.fcm import FcmType
+from ..core.tiling import DwTiling, PwTiling
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from ..ir.layers import ConvKind, ConvSpec
+from .costs import dw_feasible, dw_gma, pw_feasible, pw_gma
+from .fcm_costs import FcmCost, fcm_feasible, fcm_gma
+
+__all__ = ["SearchResult", "best_lbl_tiling", "best_fcm_tiling"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Winner of one tile-size sweep."""
+
+    tiling: dict[str, int]
+    gma_bytes: int
+    redundancy_ratio: float = 0.0
+
+
+def _pow2_upto(limit: int, minimum: int = 1) -> list[int]:
+    """Powers of two in [minimum, limit], always including ``limit`` itself."""
+    vals: list[int] = []
+    v = minimum
+    while v < limit:
+        vals.append(v)
+        v *= 2
+    vals.append(limit)
+    return sorted(set(vals))
+
+
+def _rank_key(tiling: Mapping[str, int], gma: int, warp: int) -> tuple[int, int, int]:
+    """Search ordering: warp-multiple blocks first, then GMA, then big tiles."""
+    threads = prod(tiling.values())
+    return (0 if threads % warp == 0 else 1, gma, -threads)
+
+
+def _best(
+    scored: Iterable[tuple[tuple[int, int, int], dict[str, int], float]],
+) -> tuple[dict[str, int], int, float] | None:
+    """Pick the minimum-ranked configuration; returns (tiling, gma, redund)."""
+    best = None
+    for key, tiling, redundancy in scored:
+        if best is None or key < best[0]:
+            best = (key, tiling, redundancy)
+    if best is None:
+        return None
+    return best[1], best[0][1], best[2]
+
+
+def best_lbl_tiling(spec: ConvSpec, gpu: GpuSpec, convention: str = "paper") -> SearchResult:
+    """Minimize Eq. 2 / Eq. 3 over the feasible tile grid for one layer."""
+    scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
+    if spec.kind is ConvKind.POINTWISE:
+        out_hw = spec.out_h * spec.out_w
+        for tm in _pow2_upto(spec.out_channels):
+            for thw in _pow2_upto(out_hw, minimum=4):
+                tiling = PwTiling(tm, thw)
+                if not pw_feasible(spec, tiling, gpu):
+                    continue
+                gma = pw_gma(spec, tiling, convention).total_bytes
+                d = {"tile_m": tm, "tile_hw": thw}
+                scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
+    elif spec.kind is ConvKind.DEPTHWISE:
+        for tc in _pow2_upto(spec.in_channels):
+            for th in _pow2_upto(spec.out_h):
+                for tw in _pow2_upto(spec.out_w):
+                    tiling = DwTiling(tc, th, tw)
+                    if not dw_feasible(spec, tiling, gpu):
+                        continue
+                    gma = dw_gma(spec, tiling, convention).total_bytes
+                    d = {"tile_c": tc, "tile_h": th, "tile_w": tw}
+                    scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
+    else:
+        raise PlanError(f"{spec.name}: LBL search supports only DW/PW layers")
+    win = _best(scored)
+    if win is None:
+        raise PlanError(
+            f"{spec.name}: no feasible LBL tiling on {gpu.name} "
+            f"(L1 {gpu.l1_kb}KiB, {gpu.sm_count} SMs)"
+        )
+    return SearchResult(tiling=win[0], gma_bytes=win[1])
+
+
+def _fcm_tiling_candidates(
+    fcm_type: FcmType, first: ConvSpec, second: ConvSpec
+) -> list[dict[str, int]]:
+    if fcm_type is FcmType.DWPW:
+        dw, pw = first, second
+        return [
+            {"tile_h": th, "tile_w": tw, "tile_m": tm}
+            for th in _pow2_upto(dw.out_h)
+            for tw in _pow2_upto(dw.out_w)
+            for tm in _pow2_upto(pw.out_channels)
+        ]
+    if fcm_type is FcmType.PWDW:
+        return [{"tile_f": tf} for tf in _pow2_upto(first.out_channels)]
+    if fcm_type is FcmType.PWDW_R:
+        dw = second
+        return [
+            {"tile_f": tf, "tile_h": th, "tile_w": tw}
+            for tf in _pow2_upto(first.out_channels)
+            for th in _pow2_upto(dw.out_h)
+            for tw in _pow2_upto(dw.out_w)
+        ]
+    if fcm_type is FcmType.PWPW:
+        out_hw = second.out_h * second.out_w
+        return [
+            {"tile_hw": thw, "tile_m": tm}
+            for thw in _pow2_upto(out_hw, minimum=4)
+            for tm in _pow2_upto(second.out_channels)
+        ]
+    raise PlanError(f"unknown FCM type {fcm_type}")
+
+
+def best_fcm_tiling(
+    fcm_type: FcmType,
+    first: ConvSpec,
+    second: ConvSpec,
+    gpu: GpuSpec,
+    convention: str = "paper",
+) -> SearchResult | None:
+    """Minimize the FCM estimator over the feasible tile grid.
+
+    Returns ``None`` when no tiling satisfies the fused constraints — the
+    module is infeasible on this GPU at this precision (paper §IV-B: "PWPW
+    fusion is less likely when the weights use FP32").
+    """
+    scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
+    for tiling in _fcm_tiling_candidates(fcm_type, first, second):
+        if not fcm_feasible(fcm_type, first, second, tiling, gpu):
+            continue
+        cost: FcmCost = fcm_gma(fcm_type, first, second, tiling, convention)
+        scored.append(
+            (
+                _rank_key(tiling, cost.gma.total_bytes, gpu.warp_size),
+                dict(tiling),
+                cost.redundancy_ratio,
+            )
+        )
+    win = _best(scored)
+    if win is None:
+        return None
+    return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])

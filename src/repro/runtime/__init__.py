@@ -1,0 +1,20 @@
+"""End-to-end runtime: network parameters, glue ops, inference sessions."""
+
+from .glue import apply_glue, glue_counters
+from .network_params import NetworkParams, materialize_network
+from .profiler import Comparison, compare, profile_table
+from .session import InferenceSession, SessionReport, StepRecord, TvmSession
+
+__all__ = [
+    "apply_glue",
+    "glue_counters",
+    "NetworkParams",
+    "materialize_network",
+    "Comparison",
+    "compare",
+    "profile_table",
+    "InferenceSession",
+    "SessionReport",
+    "StepRecord",
+    "TvmSession",
+]

@@ -1,0 +1,68 @@
+"""Network-wide parameter materialization with chained INT8 scales.
+
+Static-quantized inference fixes every tensor's scale offline; a layer's
+input scale is its producer's output scale, propagated through
+scale-preserving glue (adds requantize onto their first operand's grid,
+pooling is scale-invariant).  Materializing parameters once per *network*
+— rather than per kernel — guarantees our runtime, the LBL runtime and the
+TVM baseline execute numerically identical networks, so end-to-end outputs
+can be compared bit-for-bit (INT8) or to fp32 tolerance.
+"""
+
+from __future__ import annotations
+
+from ..core.dtypes import DType
+from ..core.quantize import QuantParams
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvSpec
+from ..kernels.params import LayerParams, make_layer_params
+
+__all__ = ["NetworkParams", "materialize_network"]
+
+#: Scale of the quantized network input (symmetric [-1, 1] image range).
+INPUT_SCALE = QuantParams(scale=1.0 / 127.0)
+
+
+class NetworkParams:
+    """Per-layer parameters plus the propagated activation scales."""
+
+    def __init__(self, graph: ModelGraph, dtype: DType, seed: int = 0) -> None:
+        self.graph = graph
+        self.dtype = dtype
+        self.seed = seed
+        self.layers: dict[str, LayerParams] = {}
+        #: activation quant scale at each node's *output* (None for FP32).
+        self.out_scales: dict[str, QuantParams | None] = {}
+        self._materialize()
+
+    def _in_scale(self, name: str) -> QuantParams | None:
+        preds = self.graph.predecessors(name)
+        if not preds:
+            return INPUT_SCALE if self.dtype is DType.INT8 else None
+        return self.out_scales[preds[0]]
+
+    def _materialize(self) -> None:
+        for spec in self.graph.topological():
+            if isinstance(spec, GlueSpec):
+                # Scale-preserving ops propagate the first producer's scale;
+                # gap/dense leave the quantized domain (fp32 head).
+                if spec.op in ("gap", "dense"):
+                    self.out_scales[spec.name] = None
+                else:
+                    self.out_scales[spec.name] = self._in_scale(spec.name)
+                continue
+            assert isinstance(spec, ConvSpec)
+            spec = spec.with_dtype(self.dtype)
+            params = make_layer_params(
+                spec, seed=self.seed, in_scale=self._in_scale(spec.name)
+            )
+            self.layers[spec.name] = params
+            self.out_scales[spec.name] = params.out_scale
+
+    def __getitem__(self, name: str) -> LayerParams:
+        return self.layers[name]
+
+
+def materialize_network(graph: ModelGraph, dtype: DType, seed: int = 0) -> NetworkParams:
+    """Materialize deterministic weights/scales for a whole model."""
+    return NetworkParams(graph, dtype, seed)

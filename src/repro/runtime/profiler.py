@@ -1,0 +1,65 @@
+"""Report formatting and cross-session comparison helpers.
+
+The paper's end-to-end figures compare our sessions against TVM's on latency
+(Fig. 10) and energy-per-inference (Fig. 11); this module computes those
+ratios and renders per-layer profiles like a miniature Nsight summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .session import SessionReport
+
+__all__ = ["Comparison", "compare", "profile_table"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Ours-vs-baseline end-to-end ratios (paper Figs. 10/11 datapoints)."""
+
+    model_name: str
+    gpu_name: str
+    dtype: str
+    speedup: float           # baseline latency / ours
+    energy_ratio: float      # ours energy / baseline (paper normalizes to TVM)
+    gma_ratio: float         # ours GMA bytes / baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.model_name:14s} {self.gpu_name:5s} {self.dtype:5s} "
+            f"speedup={self.speedup:5.2f}x energy={self.energy_ratio:5.2f} "
+            f"gma={self.gma_ratio:5.2f}"
+        )
+
+
+def compare(ours: SessionReport, baseline: SessionReport) -> Comparison:
+    """Ratio summary of two end-to-end reports over the same network."""
+    return Comparison(
+        model_name=ours.model_name,
+        gpu_name=ours.gpu.name,
+        dtype=str(ours.dtype),
+        speedup=baseline.latency_s / ours.latency_s,
+        energy_ratio=ours.energy_j / baseline.energy_j,
+        gma_ratio=ours.total_gma_bytes / baseline.total_gma_bytes,
+    )
+
+
+def profile_table(report: SessionReport, top: int | None = None) -> str:
+    """Render a per-step latency/traffic table, heaviest steps first."""
+    rows = sorted(report.records, key=lambda r: r.time_s, reverse=True)
+    if top is not None:
+        rows = rows[:top]
+    lines = [
+        f"profile of {report.model_name} on {report.gpu.name} ({report.dtype}) — "
+        f"total {report.latency_s * 1e3:.3f} ms",
+        f"{'step':34s} {'kind':8s} {'time(us)':>10s} {'GMA(KB)':>10s} "
+        f"{'MACs(M)':>9s} {'bound':>5s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name[:34]:34s} {r.kind:8s} {r.time_s * 1e6:10.1f} "
+            f"{r.counters.total_bytes / 1024:10.1f} "
+            f"{r.counters.total_macs / 1e6:9.2f} {r.bound:>5s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,301 @@
+"""End-to-end inference sessions: ours (FCM + LBL plan) and the TVM baseline.
+
+Both sessions execute the *same* materialized network
+(:mod:`repro.runtime.network_params`), so outputs are comparable numerically;
+they differ exactly where the paper's systems differ:
+
+* ours runs FusePlanner's plan — fused FCM kernels where suggested, tuned
+  LBL kernels elsewhere, shared cuDNN-modelled kernels for standard convs,
+  and pays for residual-add glue;
+* the TVM session runs every conv through its tuned cuDNN-backend algorithm
+  and gets residual adds for free (injective fusion).
+
+Each session offers a functional ``run`` (real tensors through the simulated
+kernels) and an ``run_analytic`` (counters-only, byte-identical totals via the
+measured-convention estimators) for the large end-to-end sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.cudnn import CudnnAlgo, cudnn_counters, run_cudnn
+from ..baselines.tvm import TvmConvStep, TvmGlueStep, TvmPlan
+from ..core.dtypes import DType
+from ..errors import PlanError, ShapeError
+from ..gpu.counters import AccessCounters
+from ..gpu.energy import energy_of
+from ..gpu.roofline import KernelTiming, time_kernel
+from ..gpu.specs import GpuSpec
+from ..ir.graph import GlueSpec, ModelGraph
+from ..ir.layers import ConvKind
+from ..kernels.registry import build_fcm_kernel, build_lbl_kernel
+from ..planner.analytic import fcm_counters, lbl_counters
+from ..planner.plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
+from .glue import apply_glue, glue_counters
+from .network_params import NetworkParams, materialize_network
+
+__all__ = ["StepRecord", "SessionReport", "InferenceSession", "TvmSession"]
+
+#: cuDNN efficiency knobs applied to standard-conv steps in *both* runtimes.
+_STD_ALGO = CudnnAlgo.IMPLICIT_PRECOMP_GEMM
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Per-step accounting: traffic, time, energy, boundedness."""
+
+    name: str
+    kind: str  # 'fcm' | 'lbl' | 'std' | 'glue' | 'tvm-conv'
+    counters: AccessCounters
+    time_s: float
+    energy_j: float
+    bound: str
+
+
+@dataclass
+class SessionReport:
+    """Aggregated result of one end-to-end inference."""
+
+    model_name: str
+    gpu: GpuSpec
+    dtype: DType
+    records: list[StepRecord] = field(default_factory=list)
+    output: np.ndarray | None = None
+
+    @property
+    def latency_s(self) -> float:
+        return sum(r.time_s for r in self.records)
+
+    @property
+    def energy_j(self) -> float:
+        return sum(r.energy_j for r in self.records)
+
+    @property
+    def total_gma_bytes(self) -> int:
+        return sum(r.counters.total_bytes for r in self.records)
+
+    @property
+    def kernel_launches(self) -> int:
+        return sum(r.counters.kernel_launches for r in self.records)
+
+    def describe(self) -> str:
+        return (
+            f"{self.model_name} on {self.gpu.name} ({self.dtype}): "
+            f"{self.latency_s * 1e3:.3f} ms, {self.energy_j * 1e3:.3f} mJ, "
+            f"{self.total_gma_bytes / 1e6:.2f} MB GMA, "
+            f"{self.kernel_launches} kernel launches"
+        )
+
+
+def _record(
+    name: str,
+    kind: str,
+    counters: AccessCounters,
+    gpu: GpuSpec,
+    dtype: DType,
+    timing: KernelTiming | None = None,
+) -> StepRecord:
+    t = timing if timing is not None else time_kernel(counters, gpu, dtype)
+    e = energy_of(counters, t, gpu, dtype)
+    return StepRecord(
+        name=name, kind=kind, counters=counters, time_s=t.t_total_s,
+        energy_j=e.total_j, bound=t.bound,
+    )
+
+
+class InferenceSession:
+    """Execute a FusePlanner :class:`ExecutionPlan` end to end."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        plan: ExecutionPlan,
+        params: NetworkParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.gpu = plan.gpu
+        self.dtype = plan.dtype
+        self.params = params if params is not None else materialize_network(
+            graph, plan.dtype, seed
+        )
+        if self.params.dtype is not plan.dtype:
+            raise PlanError("network params precision differs from the plan's")
+
+    # ---- functional execution -------------------------------------------------
+    def run(self, input_array: np.ndarray) -> SessionReport:
+        """Run real tensors through the simulated kernels per the plan."""
+        report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
+        values: dict[str, np.ndarray] = {}
+
+        def input_of(layer_name: str) -> np.ndarray:
+            preds = self.graph.predecessors(layer_name)
+            if not preds:
+                return input_array
+            return values[preds[0]]
+
+        for step in self.plan.steps:
+            if isinstance(step, FcmStep):
+                kernel = build_fcm_kernel(
+                    step.fcm_type,
+                    self.params[step.first.name],
+                    self.params[step.second.name],
+                    step.tiling,
+                )
+                res = kernel.simulate(input_of(step.first.name), self.gpu)
+                values[step.second.name] = res.output
+                report.records.append(
+                    _record(
+                        "+".join(step.layer_names), "fcm", res.counters, self.gpu,
+                        self.dtype, res.timing(),
+                    )
+                )
+            elif isinstance(step, LblStep):
+                kernel = build_lbl_kernel(self.params[step.spec.name], step.tiling)
+                res = kernel.simulate(input_of(step.spec.name), self.gpu)
+                values[step.spec.name] = res.output
+                report.records.append(
+                    _record(step.spec.name, "lbl", res.counters, self.gpu,
+                            self.dtype, res.timing())
+                )
+            elif isinstance(step, StdStep):
+                out, counters, timing = run_cudnn(
+                    self.params[step.spec.name], input_of(step.spec.name),
+                    _STD_ALGO, self.gpu,
+                )
+                values[step.spec.name] = out
+                report.records.append(
+                    _record(step.spec.name, "std", counters, self.gpu, self.dtype, timing)
+                )
+            elif isinstance(step, GlueStep):
+                spec = step.spec
+                preds = self.graph.predecessors(spec.name)
+                inputs = [values[p] if p in values else input_array for p in preds]
+                scales = [self.params.out_scales.get(p) for p in preds]
+                out, _scale = apply_glue(spec, inputs, scales, self.dtype)
+                values[spec.name] = out
+                counters = glue_counters(spec, self.dtype)
+                report.records.append(
+                    _record(spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+            else:  # pragma: no cover - exhaustive
+                raise PlanError(f"unknown plan step {step!r}")
+        report.output = values.get(self._output_name())
+        return report
+
+    def _output_name(self) -> str:
+        names = [s.name for s in self.graph.topological()]
+        return names[-1]
+
+    # ---- analytic execution -----------------------------------------------------
+    def run_analytic(self) -> SessionReport:
+        """Counters-only execution via the measured-convention estimators.
+
+        Byte counts and MACs equal the functional run exactly (verified by
+        integration tests); no tensors are materialized, so full-size models
+        sweep in milliseconds.
+        """
+        report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
+        for step in self.plan.steps:
+            if isinstance(step, FcmStep):
+                counters = fcm_counters(
+                    step.fcm_type, step.first, step.second, step.tiling
+                )
+                report.records.append(
+                    _record("+".join(step.layer_names), "fcm", counters,
+                            self.gpu, self.dtype)
+                )
+            elif isinstance(step, LblStep):
+                counters = lbl_counters(step.spec, step.tiling)
+                report.records.append(
+                    _record(step.spec.name, "lbl", counters, self.gpu, self.dtype)
+                )
+            elif isinstance(step, StdStep):
+                counters = cudnn_counters(step.spec, _STD_ALGO)
+                from ..baselines.cudnn import cudnn_timing
+
+                timing = cudnn_timing(step.spec, _STD_ALGO, self.gpu)
+                report.records.append(
+                    _record(step.spec.name, "std", counters, self.gpu, self.dtype, timing)
+                )
+            elif isinstance(step, GlueStep):
+                counters = glue_counters(step.spec, self.dtype)
+                report.records.append(
+                    _record(step.spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+        return report
+
+
+class TvmSession:
+    """Execute a :class:`TvmPlan` (cuDNN-backend per-layer, fused adds)."""
+
+    def __init__(
+        self,
+        graph: ModelGraph,
+        plan: TvmPlan,
+        params: NetworkParams | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.plan = plan
+        self.gpu = plan.gpu
+        self.dtype = plan.dtype
+        self.params = params if params is not None else materialize_network(
+            graph, plan.dtype, seed
+        )
+
+    def run(self, input_array: np.ndarray) -> SessionReport:
+        """Functional execution (reference ops + cuDNN accounting)."""
+        report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
+        values: dict[str, np.ndarray] = {}
+        for step in self.plan.steps:
+            if isinstance(step, TvmConvStep):
+                preds = self.graph.predecessors(step.spec.name)
+                ifm = values[preds[0]] if preds else input_array
+                out, counters, timing = run_cudnn(
+                    self.params[step.spec.name], ifm, step.algo, self.gpu,
+                    gemm_tile=step.gemm_tile,
+                )
+                values[step.spec.name] = out
+                report.records.append(
+                    _record(step.spec.name, "tvm-conv", counters, self.gpu,
+                            self.dtype, timing)
+                )
+            else:
+                spec = step.spec
+                preds = self.graph.predecessors(spec.name)
+                inputs = [values[p] if p in values else input_array for p in preds]
+                scales = [self.params.out_scales.get(p) for p in preds]
+                out, _scale = apply_glue(spec, inputs, scales, self.dtype)
+                values[spec.name] = out
+                counters = glue_counters(spec, self.dtype, fused=step.fused)
+                report.records.append(
+                    _record(spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+        names = [s.name for s in self.graph.topological()]
+        report.output = values.get(names[-1])
+        return report
+
+    def run_analytic(self) -> SessionReport:
+        """Counters-only execution of the TVM plan."""
+        from ..baselines.cudnn import cudnn_timing
+
+        report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
+        for step in self.plan.steps:
+            if isinstance(step, TvmConvStep):
+                counters = cudnn_counters(step.spec, step.algo, gemm_tile=step.gemm_tile)
+                timing = cudnn_timing(step.spec, step.algo, self.gpu, gemm_tile=step.gemm_tile)
+                report.records.append(
+                    _record(step.spec.name, "tvm-conv", counters, self.gpu,
+                            self.dtype, timing)
+                )
+            else:
+                counters = glue_counters(step.spec, self.dtype, fused=step.fused)
+                report.records.append(
+                    _record(step.spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+        return report

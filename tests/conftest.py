@@ -1,0 +1,30 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import GpuSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_gpu() -> GpuSpec:
+    """A small GPU so capacity/occupancy constraints are easy to trip."""
+    return GpuSpec(
+        name="tiny",
+        compute_capability="0.0",
+        sm_count=4,
+        cuda_cores=256,
+        l1_kb=16,
+        shared_kb=8,
+        l2_mb=0.5,
+        dram="TEST",
+        dram_bw_gbps=50.0,
+        clock_ghz=1.0,
+    )

@@ -1,0 +1,86 @@
+"""Shared test utilities: golden-reference layer execution and spec builders."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dtypes import DType
+from repro.core.ops import (
+    apply_activation,
+    apply_norm,
+    conv2d_depthwise,
+    conv2d_pointwise,
+    conv2d_standard,
+)
+from repro.ir.layers import ConvKind, ConvSpec, EpilogueSpec
+from repro.kernels.params import LayerParams
+
+
+def ref_layer(params: LayerParams, x: np.ndarray) -> np.ndarray:
+    """Golden execution of one conv layer + epilogue at the layer's dtype.
+
+    Mirrors what every simulated kernel must produce: conv (int32/fp32
+    accumulation), dequant (INT8), folded norm, activation, requant (INT8).
+    """
+    spec = params.spec
+    if spec.kind is ConvKind.DEPTHWISE:
+        acc = conv2d_depthwise(x, params.weights, spec.stride, spec.padding)
+    elif spec.kind is ConvKind.POINTWISE:
+        acc = conv2d_pointwise(x, params.weights, spec.stride)
+    else:
+        acc = conv2d_standard(x, params.weights, spec.stride, spec.padding)
+    epi = params.epilogue
+    if spec.dtype is DType.INT8:
+        y = acc.astype(np.float64) * epi.dequant_multiplier()
+    else:
+        y = acc.astype(np.float32)
+    if epi.norm_scale is not None:
+        y = apply_norm(y, epi.norm_scale, epi.norm_shift)
+    y = apply_activation(y, epi.activation)
+    if spec.dtype is DType.INT8:
+        return np.clip(np.rint(y / epi.out_scale.scale), -128, 127).astype(np.int8)
+    return y.astype(np.float32)
+
+
+def random_ifm(spec: ConvSpec, seed: int = 0) -> np.ndarray:
+    """Deterministic random input matching a spec's IFM shape/dtype."""
+    rng = np.random.default_rng(seed)
+    if spec.dtype is DType.INT8:
+        return rng.integers(-128, 128, spec.ifm.shape).astype(np.int8)
+    return rng.standard_normal(spec.ifm.shape).astype(np.float32)
+
+
+def pw_spec(
+    name: str = "pw",
+    c_in: int = 8,
+    c_out: int = 16,
+    h: int = 12,
+    w: int = 12,
+    stride: int = 1,
+    dtype: DType = DType.FP32,
+    activation: str | None = "relu",
+    norm: bool = True,
+) -> ConvSpec:
+    return ConvSpec(
+        name=name, kind=ConvKind.POINTWISE, in_channels=c_in, out_channels=c_out,
+        in_h=h, in_w=w, kernel=1, stride=stride, padding=0, dtype=dtype,
+        epilogue=EpilogueSpec(norm=norm, activation=activation),
+    )
+
+
+def dw_spec(
+    name: str = "dw",
+    c: int = 8,
+    h: int = 12,
+    w: int = 12,
+    kernel: int = 3,
+    stride: int = 1,
+    dtype: DType = DType.FP32,
+    activation: str | None = "relu",
+    norm: bool = True,
+) -> ConvSpec:
+    return ConvSpec(
+        name=name, kind=ConvKind.DEPTHWISE, in_channels=c, out_channels=c,
+        in_h=h, in_w=w, kernel=kernel, stride=stride, padding=kernel // 2,
+        dtype=dtype, epilogue=EpilogueSpec(norm=norm, activation=activation),
+    )

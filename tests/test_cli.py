@@ -1,0 +1,36 @@
+"""CLI smoke tests (artifact commands are exercised end to end)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_gpus_listing(capsys):
+    assert main(["gpus"]) == 0
+    out = capsys.readouterr().out
+    assert "GTX" in out and "RTX" in out and "Orin" in out
+
+
+def test_plan_command(capsys):
+    assert main(["plan", "mobilenet_v1", "--gpu", "GTX"]) == 0
+    out = capsys.readouterr().out
+    assert "ExecutionPlan" in out and "FCM" in out
+
+
+def test_plan_int8(capsys):
+    assert main(["plan", "mobilenet_v1", "--gpu", "Orin", "--dtype", "int8"]) == 0
+    assert "int8" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_unknown_model_raises():
+    from repro.errors import UnsupportedError
+
+    with pytest.raises(UnsupportedError):
+        main(["plan", "resnet"])

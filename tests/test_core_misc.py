@@ -1,0 +1,75 @@
+"""Tests for dtypes, tensor specs and the FCM taxonomy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dtypes import DType
+from repro.core.fcm import FcmType, candidate_fcm_types, fcm_is_redundant
+from repro.core.tensor import FeatureMapSpec, TensorSpec
+from repro.errors import ShapeError, UnsupportedError
+
+
+class TestDType:
+    def test_sizes(self):
+        assert DType.FP32.nbytes == 4
+        assert DType.INT8.nbytes == 1
+
+    def test_numpy_mapping(self):
+        assert DType.FP32.np_dtype == np.float32
+        assert DType.INT8.np_dtype == np.int8
+        assert DType.INT8.acc_dtype == np.int32
+        assert DType.FP32.acc_dtype == np.float32
+
+    def test_dp4a_throughput_ratio(self):
+        assert DType.INT8.macs_per_core_cycle == 4 * DType.FP32.macs_per_core_cycle
+
+    def test_pack_factor(self):
+        assert DType.INT8.pack_factor == 4
+        assert DType.FP32.pack_factor == 1
+
+
+class TestTensorSpec:
+    def test_sizes(self):
+        t = TensorSpec((4, 8, 8), DType.FP32)
+        assert t.num_elements == 256
+        assert t.nbytes == 1024
+        assert t.with_dtype(DType.INT8).nbytes == 256
+
+    def test_zeros(self):
+        z = TensorSpec((2, 3), DType.INT8).zeros()
+        assert z.shape == (2, 3) and z.dtype == np.int8
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            TensorSpec((0, 3))
+
+    def test_feature_map(self):
+        f = FeatureMapSpec(16, 14, 14, DType.INT8)
+        assert f.hw == 196
+        assert f.nbytes == 16 * 196
+        assert f.as_tensor().shape == (16, 14, 14)
+        with pytest.raises(ShapeError):
+            FeatureMapSpec(0, 1, 1)
+
+
+class TestFcmTaxonomy:
+    def test_candidate_types(self):
+        assert candidate_fcm_types("dw", "pw") == (FcmType.DWPW,)
+        assert set(candidate_fcm_types("pw", "dw")) == {FcmType.PWDW, FcmType.PWDW_R}
+        assert candidate_fcm_types("pw", "pw") == (FcmType.PWPW,)
+
+    def test_dw_dw_rejected(self):
+        with pytest.raises(UnsupportedError):
+            candidate_fcm_types("dw", "dw")
+
+    def test_redundancy_flag(self):
+        assert fcm_is_redundant(FcmType.PWDW_R)
+        for t in (FcmType.DWPW, FcmType.PWDW, FcmType.PWPW):
+            assert not fcm_is_redundant(t)
+
+    def test_kind_properties(self):
+        assert FcmType.DWPW.first_kind == "dw" and FcmType.DWPW.second_kind == "pw"
+        assert FcmType.PWDW_R.first_kind == "pw" and FcmType.PWDW_R.second_kind == "dw"
+        assert FcmType.PWPW.first_kind == "pw" and FcmType.PWPW.second_kind == "pw"

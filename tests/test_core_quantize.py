@@ -1,0 +1,109 @@
+"""Tests for INT8 quantization and the dp4a emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.quantize import (
+    QuantParams,
+    choose_scale,
+    dequantize,
+    dp4a_dot,
+    pack_int8x4,
+    quantize,
+    requantize,
+    unpack_int8x4,
+)
+from repro.errors import ShapeError
+
+
+class TestScaleSelection:
+    def test_covers_range(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32) * 5
+        q = quantize(x, choose_scale(x))
+        assert q.min() >= -128 and q.max() <= 127
+        # The extreme value must map near the int8 edge.
+        assert max(abs(int(q.min())), int(q.max())) >= 126
+
+    def test_zero_input(self):
+        p = choose_scale(np.zeros(10, dtype=np.float32))
+        assert p.scale == 1.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ShapeError):
+            QuantParams(scale=0.0)
+        with pytest.raises(ShapeError):
+            QuantParams(scale=float("nan"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(
+        np.float32,
+        st.integers(1, 64),
+        elements=st.floats(-100, 100, width=32, allow_nan=False),
+    )
+)
+def test_quantize_roundtrip_error_bound(x):
+    """|dequant(quant(x)) - x| <= scale/2 elementwise (round-to-nearest)."""
+    p = choose_scale(x)
+    err = np.abs(dequantize(quantize(x, p), p) - x)
+    assert (err <= p.scale / 2 + 1e-6).all()
+
+
+class TestDp4a:
+    def test_matches_float_dot(self, rng):
+        a = rng.integers(-128, 128, (5, 16)).astype(np.int8)
+        b = rng.integers(-128, 128, (5, 16)).astype(np.int8)
+        got = dp4a_dot(a, b)
+        want = (a.astype(np.int64) * b.astype(np.int64)).sum(axis=-1)
+        np.testing.assert_array_equal(got.astype(np.int64), want)
+        assert got.dtype == np.int32
+
+    def test_rejects_non_int8(self, rng):
+        with pytest.raises(ShapeError):
+            dp4a_dot(np.ones(4, np.int32), np.ones(4, np.int8))
+
+
+class TestPacking:
+    def test_roundtrip(self, rng):
+        x = rng.integers(-128, 128, (3, 8)).astype(np.int8)
+        words = pack_int8x4(x)
+        assert words.dtype == np.int32
+        assert words.size == x.size // 4
+        np.testing.assert_array_equal(unpack_int8x4(words, x.shape), x)
+
+    def test_requires_multiple_of_four(self):
+        with pytest.raises(ShapeError):
+            pack_int8x4(np.zeros(6, np.int8))
+
+    def test_unpack_shape_check(self):
+        with pytest.raises(ShapeError):
+            unpack_int8x4(np.zeros(2, np.int32), (3, 3))
+
+
+class TestRequantize:
+    def test_identity_scales(self):
+        acc = np.array([[10, -20], [127, -128]], dtype=np.int32)
+        unit = QuantParams(1.0)
+        np.testing.assert_array_equal(
+            requantize(acc, unit, unit, unit), np.clip(acc, -128, 127).astype(np.int8)
+        )
+
+    def test_matches_float_pipeline(self, rng):
+        inp, w, out = QuantParams(0.02), QuantParams(0.005), QuantParams(0.1)
+        acc = rng.integers(-(2**20), 2**20, 100).astype(np.int32)
+        got = requantize(acc, inp, w, out)
+        want = np.clip(
+            np.rint(acc.astype(np.float64) * inp.scale * w.scale / out.scale),
+            -128, 127,
+        ).astype(np.int8)
+        np.testing.assert_array_equal(got, want)
+
+    def test_rejects_float_acc(self):
+        with pytest.raises(ShapeError):
+            requantize(np.zeros(3, np.float32), QuantParams(1), QuantParams(1), QuantParams(1))

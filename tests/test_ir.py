@@ -1,0 +1,151 @@
+"""Tests for the model IR: layer specs, DAG, block builders, importer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.errors import ShapeError
+from repro.ir.blocks import dsc_block, inverted_residual_block, standard_conv
+from repro.ir.graph import GlueSpec, ModelGraph
+from repro.ir.importer import import_model
+from repro.ir.layers import ConvKind, ConvSpec
+
+
+class TestConvSpec:
+    def test_geometry(self):
+        s = ConvSpec("c", ConvKind.STANDARD, 3, 32, 224, 224, kernel=3, stride=2, padding=1)
+        assert (s.out_h, s.out_w) == (112, 112)
+        assert s.weights_shape == (32, 3, 3, 3)
+        assert s.macs == 32 * 3 * 9 * 112 * 112
+
+    def test_pw_macs_and_weights(self):
+        s = ConvSpec("p", ConvKind.POINTWISE, 64, 128, 56, 56)
+        assert s.weights_shape == (128, 64)
+        assert s.macs == 128 * 64 * 56 * 56
+        assert s.weights_bytes == 128 * 64 * 4
+
+    def test_dw_preserves_channels(self):
+        with pytest.raises(ShapeError):
+            ConvSpec("d", ConvKind.DEPTHWISE, 8, 16, 10, 10, kernel=3, padding=1)
+
+    def test_pw_kernel_must_be_one(self):
+        with pytest.raises(ShapeError):
+            ConvSpec("p", ConvKind.POINTWISE, 8, 8, 10, 10, kernel=3)
+
+    def test_with_dtype(self):
+        s = ConvSpec("p", ConvKind.POINTWISE, 8, 8, 10, 10)
+        assert s.with_dtype(DType.INT8).weights_bytes == 64
+
+    def test_describe(self):
+        s = ConvSpec("p", ConvKind.POINTWISE, 8, 16, 10, 10)
+        assert "pw 8->16" in s.describe()
+
+
+class TestModelGraph:
+    def test_linear_chain_and_candidates(self):
+        g = ModelGraph("m")
+        dsc_block(g, "b1", 8, 16, 16, 16)
+        dsc_block(g, "b2", 16, 16, 16, 16)
+        g.validate()
+        names = [(c.first.name, c.second.name) for c in g.fusion_candidates()]
+        assert ("b1_dw", "b1_pw") in names
+        assert ("b1_pw", "b2_dw") in names  # cross-block PW->DW pair
+
+    def test_duplicate_name_rejected(self):
+        g = ModelGraph("m")
+        dsc_block(g, "b", 4, 4, 8, 8)
+        with pytest.raises(ShapeError):
+            dsc_block(g, "b", 4, 4, 8, 8)
+
+    def test_shape_mismatch_detected(self):
+        g = ModelGraph("m")
+        g.add(ConvSpec("a", ConvKind.POINTWISE, 4, 8, 8, 8))
+        g.add(ConvSpec("b", ConvKind.POINTWISE, 16, 4, 8, 8))  # expects 16 chans
+        with pytest.raises(ShapeError):
+            g.validate()
+
+    def test_multi_consumer_blocks_fusion(self):
+        """A PW whose output feeds two consumers must not be a candidate."""
+        g = ModelGraph("m")
+        p = g.add(ConvSpec("p", ConvKind.POINTWISE, 4, 8, 8, 8))
+        g.add(ConvSpec("d", ConvKind.DEPTHWISE, 8, 8, 8, 8, kernel=3, padding=1), after=p)
+        g.add(GlueSpec("branch", "noop", 8 * 8 * 8), after=p)
+        firsts = [c.first.name for c in g.fusion_candidates()]
+        assert "p" not in firsts
+
+    def test_standard_conv_never_candidate(self):
+        g = ModelGraph("m")
+        standard_conv(g, "s", 3, 8, 16, 16)
+        dsc_block(g, "b", 8, 8, 16, 16)
+        firsts = [c.first.name for c in g.fusion_candidates()]
+        assert "s" not in firsts
+
+    def test_unknown_layer_lookup(self):
+        g = ModelGraph("m")
+        with pytest.raises(ShapeError):
+            g.spec("nope")
+
+
+class TestInvertedResidual:
+    def test_residual_add_created(self):
+        g = ModelGraph("m")
+        first = standard_conv(g, "stem", 3, 16, 32, 32)
+        last = inverted_residual_block(g, "ir", 16, 16, 32, 32, stride=1, after=first)
+        assert last == "ir_add"
+        add = g.spec("ir_add")
+        assert isinstance(add, GlueSpec) and add.op == "add"
+        assert set(g.predecessors("ir_add")) == {"stem", "ir_pw_proj"}
+
+    def test_no_residual_on_stride2(self):
+        g = ModelGraph("m")
+        first = standard_conv(g, "stem", 3, 16, 32, 32)
+        last = inverted_residual_block(g, "ir", 16, 16, 32, 32, stride=2, after=first)
+        assert last == "ir_pw_proj"
+
+    def test_expansion_one_skips_first_pw(self):
+        g = ModelGraph("m")
+        first = standard_conv(g, "stem", 3, 16, 32, 32)
+        inverted_residual_block(g, "ir", 16, 24, 32, 32, expansion=1, after=first)
+        assert "ir_pw_exp" not in g
+        assert "ir_dw" in g
+
+    def test_projection_pw_is_linear(self):
+        g = ModelGraph("m")
+        first = standard_conv(g, "stem", 3, 16, 32, 32)
+        inverted_residual_block(g, "ir", 16, 24, 32, 32, after=first)
+        proj = g.spec("ir_pw_proj")
+        assert proj.epilogue.activation is None
+
+
+class TestImporter:
+    def test_import_and_shapes(self):
+        g = import_model(
+            {
+                "name": "t",
+                "input": [8, 16, 16],
+                "layers": [
+                    {"op": "conv", "kind": "dw", "kernel": 3, "stride": 2},
+                    {"op": "conv", "kind": "pw", "out_channels": 32},
+                    {"op": "glue", "glue": "gap"},
+                ],
+            }
+        )
+        convs = g.conv_layers()
+        assert convs[0].out_h == 8
+        assert convs[1].in_channels == 8 and convs[1].out_channels == 32
+
+    def test_dtype_applied(self):
+        g = import_model(
+            {"name": "t", "input": [4, 8, 8],
+             "layers": [{"op": "conv", "kind": "pw", "out_channels": 8}]},
+            dtype=DType.INT8,
+        )
+        assert g.conv_layers()[0].dtype is DType.INT8
+
+    def test_malformed(self):
+        with pytest.raises(ShapeError):
+            import_model({"name": "x", "layers": []})
+        with pytest.raises(ShapeError):
+            import_model({"name": "x", "input": [1, 2, 3],
+                          "layers": [{"op": "warp"}]})

@@ -1,0 +1,129 @@
+"""Model-zoo tests: geometry, MAC budgets, fusion surface of the six DNNs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dtypes import DType
+from repro.errors import UnsupportedError
+from repro.ir.graph import GlueSpec
+from repro.ir.layers import ConvKind
+from repro.models.zoo import (
+    CNN_MODELS,
+    MODELS,
+    PAPER_LABELS,
+    VIT_MODELS,
+    build_model,
+    model_names,
+)
+
+
+class TestZoo:
+    def test_registry_complete(self):
+        assert set(model_names()) == set(CNN_MODELS) | set(VIT_MODELS)
+        assert set(PAPER_LABELS) == set(MODELS)
+
+    def test_unknown_model(self):
+        with pytest.raises(UnsupportedError):
+            build_model("resnet152")
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_builds_and_validates(self, name):
+        g = build_model(name)
+        g.validate()
+        assert len(g.conv_layers()) > 10
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_int8_variant(self, name):
+        g = build_model(name, DType.INT8)
+        assert all(c.dtype is DType.INT8 for c in g.conv_layers())
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_has_dw_and_pw(self, name):
+        kinds = {c.kind for c in build_model(name).conv_layers()}
+        assert ConvKind.DEPTHWISE in kinds and ConvKind.POINTWISE in kinds
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_fusion_candidates_exist(self, name):
+        assert len(build_model(name).fusion_candidates()) >= 10
+
+
+class TestMobileNetV1:
+    def test_known_mac_budget(self):
+        """~569M MACs at 224x224 (Howard et al. report 569M mult-adds)."""
+        macs = sum(c.macs for c in build_model("mobilenet_v1").conv_layers())
+        assert macs == pytest.approx(569e6, rel=0.02)
+
+    def test_layer_count(self):
+        g = build_model("mobilenet_v1")
+        convs = g.conv_layers()
+        assert len(convs) == 27  # stem + 13 x (dw + pw)
+        assert convs[-1].out_channels == 1024
+        assert convs[-1].out_h == 7
+
+    def test_linear_no_adds(self):
+        g = build_model("mobilenet_v1")
+        glue_ops = {s.op for s in g.topological() if isinstance(s, GlueSpec)}
+        assert "add" not in glue_ops
+
+
+class TestMobileNetV2:
+    def test_known_mac_budget(self):
+        """~300M MACs at 224x224 (Sandler et al.)."""
+        macs = sum(c.macs for c in build_model("mobilenet_v2").conv_layers())
+        assert macs == pytest.approx(300e6, rel=0.05)
+
+    def test_residual_adds_present(self):
+        g = build_model("mobilenet_v2")
+        adds = [s for s in g.topological() if isinstance(s, GlueSpec) and s.op == "add"]
+        assert len(adds) == 10  # 10 stride-1 same-channel blocks
+
+    def test_head(self):
+        convs = build_model("mobilenet_v2").conv_layers()
+        assert convs[-1].out_channels == 1280 and convs[-1].out_h == 7
+
+
+class TestXception:
+    def test_known_mac_budget(self):
+        """~8.4G MACs at 299x299 (Chollet)."""
+        macs = sum(c.macs for c in build_model("xception").conv_layers())
+        assert macs == pytest.approx(8.4e9, rel=0.05)
+
+    def test_middle_flow_geometry(self):
+        g = build_model("xception")
+        mid = g.spec("mid4_sep2_pw")
+        assert (mid.in_channels, mid.out_channels, mid.in_h) == (728, 728, 19)
+
+    def test_strided_shortcuts_are_pointwise(self):
+        g = build_model("xception")
+        s = g.spec("entry2_short")
+        assert s.kind is ConvKind.POINTWISE and s.stride == 2
+
+    def test_shortcut_not_fusable(self):
+        g = build_model("xception")
+        firsts = {c.first.name for c in g.fusion_candidates()}
+        assert "entry1_short" not in firsts
+
+
+class TestViTs:
+    def test_ceit_leff_geometry(self):
+        g = build_model("ceit")
+        pw1 = g.spec("blk1_leff_pw1")
+        dw = g.spec("blk1_leff_dw")
+        assert pw1.out_channels == 768 and (dw.in_h, dw.in_w) == (14, 14)
+
+    def test_ceit_leff_chains_are_candidates(self):
+        g = build_model("ceit")
+        pairs = {(c.first.name, c.second.name) for c in g.fusion_candidates()}
+        assert ("blk3_leff_pw1", "blk3_leff_dw") in pairs
+        assert ("blk3_leff_dw", "blk3_leff_pw2") in pairs
+
+    def test_cmt_stage_dims(self):
+        g = build_model("cmt")
+        assert g.spec("s1_patch").out_channels == 64
+        assert g.spec("s3_patch").out_channels == 256
+        assert g.spec("s4b1_ffn_pw1").in_h == 7
+
+    def test_cmt_lpu_residual(self):
+        g = build_model("cmt")
+        assert set(g.predecessors("s1b1_lpu_add")) == {"s1_patch", "s1b1_lpu_dw"}

@@ -1,0 +1,20 @@
+"""Report generator smoke test (runs a trimmed end-to-end pipeline)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import generate_report, main
+
+
+def test_generate_report_contains_all_artifacts():
+    text = generate_report()
+    for marker in (
+        "Figure 1", "Table II (FP32)", "Table II (INT8)", "Table III",
+        "Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figures 10/11",
+    ):
+        assert marker in text, marker
+
+
+def test_main_writes_file(tmp_path):
+    out = tmp_path / "report.md"
+    assert main([str(out)]) == 0
+    assert out.exists() and out.stat().st_size > 1000
