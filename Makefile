@@ -1,0 +1,22 @@
+# Developer entry points. Everything runs offline on the simulated substrate.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench docs-check
+
+## tier-1 suite — must stay green (ROADMAP.md)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## quick serving + one-figure artifact pass (no full fig10 sweep)
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py \
+	    benchmarks/bench_table2_fusion_cases.py --benchmark-only -q -s
+
+## every paper artifact + the serving sweep (slow)
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+## fail if README.md / docs reference modules, commands or files that don't exist
+docs-check:
+	$(PYTHON) tools/docs_check.py README.md docs/architecture.md

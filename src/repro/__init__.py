@@ -12,7 +12,8 @@ Public API tour:
 * :mod:`repro.planner` — FusePlanner cost models (paper Eq. 1-4) and search.
 * :mod:`repro.baselines` — cuDNN-like and TVM-like comparators.
 * :mod:`repro.models` — MobileNetV1/V2, Xception, ProxylessNAS, CeiT, CMT.
-* :mod:`repro.runtime` — end-to-end inference sessions.
+* :mod:`repro.runtime` — end-to-end inference sessions (single and batched).
+* :mod:`repro.serve` — plan-caching, micro-batching model server + load replay.
 * :mod:`repro.experiments` — harnesses regenerating every paper table/figure.
 """
 

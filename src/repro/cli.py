@@ -1,10 +1,17 @@
-"""Command-line interface: regenerate paper artifacts and plan models.
+"""Command-line interface: regenerate paper artifacts, plan models, serve.
+
+Every subcommand maps onto one public subsystem: the artifact commands
+(``table2``/``fig6``/``fig10``) drive :mod:`repro.experiments`, ``plan``
+drives :mod:`repro.planner`, ``gpus`` prints :mod:`repro.gpu` presets, and
+the serving commands (``serve``/``bench-serve``) drive :mod:`repro.serve`.
 
 Usage:
     python -m repro.cli table2 --dtype int8
     python -m repro.cli fig6 --dtype fp32
     python -m repro.cli fig10 --dtype fp32
     python -m repro.cli plan mobilenet_v2 --gpu RTX --dtype int8
+    python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000
+    python -m repro.cli bench-serve --models mobilenet_v2,xception
     python -m repro.cli gpus
 """
 
@@ -89,29 +96,143 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.loadgen import replay
+
+    report = replay(
+        gpu_by_name(args.gpu),
+        args.model,
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        dtype=_dtype(args.dtype),
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms * 1e-3,
+        poisson=args.poisson,
+    )
+    print(report.describe())
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_table
+    from .serve.server import ModelServer
+
+    server = ModelServer(gpu_by_name(args.gpu))
+    batches = [int(b) for b in args.batches.split(",")]
+    rows = []
+    for model in args.models.split(","):
+        base = None
+        for b in batches:
+            rep = server.submit_analytic(model, b, _dtype(args.dtype))
+            if base is None:
+                base = rep.throughput_img_s
+            rows.append([
+                model, b, f"{rep.throughput_img_s:.0f}",
+                f"{rep.latency_per_image_s * 1e3:.4f}",
+                f"{rep.energy_per_image_j * 1e3:.3f}",
+                f"{rep.throughput_img_s / base:.2f}x",
+            ])
+    print(format_table(
+        ["model", "batch", "img/s", "ms/img", "mJ/img", f"vs b={batches[0]}"], rows
+    ))
+    stats = server.cache.stats
+    print(f"planner invocations: {stats.planner_invocations} "
+          f"(cache hits {stats.hits}, misses {stats.misses})")
+    return 0
+
+
+#: (name, builder-visible help, --help epilog) per subcommand; asserted by
+#: tests/test_cli.py so every command documents at least one worked example.
+_EPILOGS: dict[str, str] = {
+    "gpus": "examples:\n  python -m repro.cli gpus",
+    "table2": (
+        "examples:\n"
+        "  python -m repro.cli table2 --dtype fp32\n"
+        "  python -m repro.cli table2 --dtype int8   # Table II at INT8"
+    ),
+    "fig6": (
+        "examples:\n"
+        "  python -m repro.cli fig6 --dtype fp32     # Fig. 6 FCM-vs-LBL speedups\n"
+        "  python -m repro.cli fig6 --dtype int8     # Fig. 7 (INT8 variant)"
+    ),
+    "fig10": (
+        "examples:\n"
+        "  python -m repro.cli fig10 --dtype fp32    # Fig. 10 end-to-end vs TVM\n"
+        "  python -m repro.cli fig10 --dtype int8"
+    ),
+    "plan": (
+        "examples:\n"
+        "  python -m repro.cli plan mobilenet_v2 --gpu RTX\n"
+        "  python -m repro.cli plan xception --gpu Orin --dtype int8"
+    ),
+    "serve": (
+        "examples:\n"
+        "  python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000\n"
+        "  python -m repro.cli serve xception --max-batch 16 --poisson"
+    ),
+    "bench-serve": (
+        "examples:\n"
+        "  python -m repro.cli bench-serve\n"
+        "  python -m repro.cli bench-serve --models mobilenet_v2 --batches 1,4,16"
+    ),
+}
+
+
+def _add_cmd(sub, name: str, fn, help_: str) -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        name,
+        help=help_,
+        epilog=_EPILOGS[name],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.set_defaults(fn=fn)
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="FCM / FusePlanner reproduction toolkit"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("gpus", help="list the paper's GPU presets").set_defaults(
-        fn=_cmd_gpus
-    )
+    _add_cmd(sub, "gpus", _cmd_gpus, "list the paper's GPU presets")
     for name, fn, help_ in (
         ("table2", _cmd_table2, "regenerate Table II fusion cases"),
         ("fig6", _cmd_fig6, "FCM-vs-LBL speedups (Fig. 6/7)"),
         ("fig10", _cmd_fig10, "end-to-end vs TVM (Fig. 10/11)"),
     ):
-        p = sub.add_parser(name, help=help_)
+        p = _add_cmd(sub, name, fn, help_)
         p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
-        p.set_defaults(fn=fn)
 
-    p = sub.add_parser("plan", help="print FusePlanner's plan for a model")
+    p = _add_cmd(sub, "plan", _cmd_plan, "print FusePlanner's plan for a model")
     p.add_argument("model")
     p.add_argument("--gpu", default="RTX")
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
-    p.set_defaults(fn=_cmd_plan)
+
+    p = _add_cmd(sub, "serve", _cmd_serve,
+                 "replay a request stream through the micro-batching server")
+    p.add_argument("model")
+    p.add_argument("--gpu", default="RTX")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of requests to replay (default 64)")
+    p.add_argument("--rate", type=float, default=5000.0,
+                   help="arrival rate in requests/s (default 5000)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size cap (default 8)")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="micro-batch deadline in ms (default 2.0)")
+    p.add_argument("--poisson", action="store_true",
+                   help="Poisson arrivals instead of uniform spacing")
+
+    p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
+                 "sweep batch size x model and report serving throughput")
+    p.add_argument("--models", default="mobilenet_v2,xception",
+                   help="comma-separated model names (see repro.models.zoo)")
+    p.add_argument("--batches", default="1,2,4,8",
+                   help="comma-separated batch sizes (default 1,2,4,8)")
+    p.add_argument("--gpu", default="RTX")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
     return parser
 
 

@@ -67,6 +67,35 @@ class AccessCounters:
         return sum(b for t, b in self.rereads if t <= budget)
 
     # ---- aggregation -----------------------------------------------------------
+    def batched(self, batch: int, weight_bytes: int = 0) -> "AccessCounters":
+        """Counters of the same grid launched once over ``batch`` images.
+
+        A batched kernel keeps the launch count (one grid covers the whole
+        batch) while per-image work — traffic, MACs, shared-memory movement —
+        scales linearly.  ``weight_bytes`` marks the kernel's weight tensors:
+        ``batch - 1`` re-streams of them across the batch are annotated as
+        re-reads so the roofline serves them from L2 (DW/PW weight tensors are
+        tiny), which is the traffic amortization batching buys on real GPUs.
+        GMA totals — the paper's metric, which counts kernel-issued accesses —
+        still scale with the batch, matching the per-launch convention used
+        everywhere else in the simulator.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        out = AccessCounters()
+        for k, v in self.global_reads.items():
+            out.global_reads[k] = v * batch
+        for k, v in self.global_writes.items():
+            out.global_writes[k] = v * batch
+        out.shared_bytes = self.shared_bytes * batch
+        out.macs = self.macs * batch
+        out.redundant_macs = self.redundant_macs * batch
+        out.kernel_launches = self.kernel_launches
+        out.rereads = [(t, b * batch) for t, b in self.rereads]
+        if batch > 1 and weight_bytes > 0:
+            out.reread(weight_bytes, (batch - 1) * weight_bytes)
+        return out
+
     def merge(self, other: "AccessCounters") -> "AccessCounters":
         """Accumulate another counter into this one (returns self)."""
         for k, v in other.global_reads.items():

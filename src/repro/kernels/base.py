@@ -75,6 +75,16 @@ class SimKernel(abc.ABC):
     def finalize(self, counters: AccessCounters) -> None:
         """Post-launch accounting hook (e.g. redundant-MAC reclassification)."""
 
+    def weight_bytes(self) -> int:
+        """Bytes of the kernel's weight tensors at storage precision.
+
+        Batch-invariant traffic: a batched launch streams weights once from
+        DRAM and re-reads them from L2 for the remaining images (see
+        :meth:`~repro.gpu.counters.AccessCounters.batched`).  Kernels without
+        weights (the default) return 0.
+        """
+        return 0
+
     def check_capacity(self, gpu: GpuSpec) -> None:
         """Validate the L1 working-set constraint before launching.
 
@@ -105,6 +115,27 @@ class SimKernel(abc.ABC):
             output=self.output_array(),
             counters=counters,
             stats=stats,
+            gpu=gpu,
+            dtype=self.dtype,
+        )
+
+    def simulate_batch(self, ifms: np.ndarray, gpu: GpuSpec) -> KernelResult:
+        """Run a stack of IFMs (leading batch dimension) as one batched launch.
+
+        Functionally each image flows through the same simulated grid; the
+        returned counters describe the single batched launch — one kernel
+        launch total, per-image traffic/compute scaled by the batch, and the
+        cross-image weight re-streams annotated for L2 absorption.  The
+        output keeps the leading batch dimension.
+        """
+        if ifms.ndim < 2 or ifms.shape[0] < 1:
+            raise ShapeError(f"{self.name}: batched IFM needs a leading batch dim")
+        results = [self.simulate(ifm, gpu) for ifm in ifms]
+        counters = results[0].counters.batched(len(results), self.weight_bytes())
+        return KernelResult(
+            output=np.stack([r.output for r in results]),
+            counters=counters,
+            stats=results[0].stats,
             gpu=gpu,
             dtype=self.dtype,
         )

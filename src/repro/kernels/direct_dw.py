@@ -150,6 +150,9 @@ class DwDirectKernel(SimKernel):
     def output_array(self) -> np.ndarray:
         return self._out.array
 
+    def weight_bytes(self) -> int:
+        return self.spec.weights_bytes
+
     def finalize(self, counters: AccessCounters) -> None:
         """Annotate weight/halo re-reads for L2-aware timing."""
         from ..planner.analytic import lbl_counters

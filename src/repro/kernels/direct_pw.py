@@ -94,6 +94,9 @@ class PwDirectKernel(SimKernel):
             self.spec.out_channels, self.spec.out_h, self.spec.out_w
         )
 
+    def weight_bytes(self) -> int:
+        return self.spec.weights_bytes
+
     def finalize(self, counters: AccessCounters) -> None:
         """Annotate weight/IFM re-reads for L2-aware timing (same math as
         :mod:`repro.planner.analytic`, so functional == analytic timing)."""

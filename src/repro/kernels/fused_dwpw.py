@@ -166,6 +166,9 @@ class DwPwFusedKernel(SimKernel):
     def output_array(self) -> np.ndarray:
         return self._out.array
 
+    def weight_bytes(self) -> int:
+        return self.dw.spec.weights_bytes + self.pw.spec.weights_bytes
+
     def finalize(self, counters) -> None:
         """Annotate re-reads for L2-aware timing (mirrors planner.analytic)."""
         from ..core.fcm import FcmType

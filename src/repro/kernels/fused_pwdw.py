@@ -146,6 +146,9 @@ class PwDwFusedKernel(SimKernel):
     def output_array(self) -> np.ndarray:
         return self._out.array
 
+    def weight_bytes(self) -> int:
+        return self.pw.spec.weights_bytes + self.dw.spec.weights_bytes
+
     def finalize(self, counters) -> None:
         """Annotate IFM re-stream re-reads for L2-aware timing."""
         from ..core.fcm import FcmType

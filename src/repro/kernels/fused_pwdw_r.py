@@ -198,6 +198,9 @@ class PwDwRFusedKernel(SimKernel):
     def output_array(self) -> np.ndarray:
         return self._out.array
 
+    def weight_bytes(self) -> int:
+        return self.pw.spec.weights_bytes + self.dw.spec.weights_bytes
+
 
 def _covered(out_size: int, tile: int, kernel: int, stride: int, padding: int, in_size: int) -> int:
     """Distinct input indices touched along one axis by all tile windows."""

@@ -139,6 +139,9 @@ class PwPwFusedKernel(SimKernel):
             self.pw2.spec.out_channels, self.pw2.spec.out_h, self.pw2.spec.out_w
         )
 
+    def weight_bytes(self) -> int:
+        return self.pw1.spec.weights_bytes + self.pw2.spec.weights_bytes
+
     def finalize(self, counters: AccessCounters) -> None:
         """Annotate weight re-reads for L2-aware timing."""
         from ..core.fcm import FcmType

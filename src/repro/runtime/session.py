@@ -57,17 +57,38 @@ class StepRecord:
 
 @dataclass
 class SessionReport:
-    """Aggregated result of one end-to-end inference."""
+    """Aggregated result of one end-to-end inference (optionally batched).
+
+    ``batch_size > 1`` means every record describes a *batched* launch — one
+    kernel covering the whole batch — and ``output`` carries a leading batch
+    dimension.  ``latency_s`` is then the batch's wall time; the per-image
+    views (:attr:`throughput_img_s`, :attr:`energy_per_image_j`) are what the
+    serving layer reports.
+    """
 
     model_name: str
     gpu: GpuSpec
     dtype: DType
     records: list[StepRecord] = field(default_factory=list)
     output: np.ndarray | None = None
+    batch_size: int = 1
 
     @property
     def latency_s(self) -> float:
         return sum(r.time_s for r in self.records)
+
+    @property
+    def latency_per_image_s(self) -> float:
+        return self.latency_s / self.batch_size
+
+    @property
+    def throughput_img_s(self) -> float:
+        """Images per second at this batch size (batch wall time amortized)."""
+        return self.batch_size / self.latency_s
+
+    @property
+    def energy_per_image_j(self) -> float:
+        return self.energy_j / self.batch_size
 
     @property
     def energy_j(self) -> float:
@@ -82,8 +103,9 @@ class SessionReport:
         return sum(r.counters.kernel_launches for r in self.records)
 
     def describe(self) -> str:
+        batch = f" batch={self.batch_size}" if self.batch_size > 1 else ""
         return (
-            f"{self.model_name} on {self.gpu.name} ({self.dtype}): "
+            f"{self.model_name} on {self.gpu.name} ({self.dtype}{batch}): "
             f"{self.latency_s * 1e3:.3f} ms, {self.energy_j * 1e3:.3f} mJ, "
             f"{self.total_gma_bytes / 1e6:.2f} MB GMA, "
             f"{self.kernel_launches} kernel launches"
@@ -190,6 +212,137 @@ class InferenceSession:
     def _output_name(self) -> str:
         names = [s.name for s in self.graph.topological()]
         return names[-1]
+
+    # ---- batched execution ------------------------------------------------------
+    def run_batch(self, batch_input: np.ndarray) -> SessionReport:
+        """Run a stack of inputs (leading batch dim) through batched launches.
+
+        Per step the whole batch goes through one kernel launch: per-image
+        traffic and compute scale with the batch while launch overhead is paid
+        once and cross-image weight re-streams are served from L2 (see
+        :meth:`~repro.gpu.counters.AccessCounters.batched`).  Outputs are
+        numerically identical to running each image through :meth:`run`.
+        """
+        if batch_input.ndim != 4:
+            raise ShapeError(
+                f"run_batch expects (batch, C, H, W), got shape {batch_input.shape}"
+            )
+        n = batch_input.shape[0]
+        report = SessionReport(
+            self.plan.model_name, self.gpu, self.dtype, batch_size=n
+        )
+        values: dict[str, np.ndarray] = {}
+
+        def input_of(layer_name: str) -> np.ndarray:
+            preds = self.graph.predecessors(layer_name)
+            if not preds:
+                return batch_input
+            return values[preds[0]]
+
+        for step in self.plan.steps:
+            if isinstance(step, FcmStep):
+                kernel = build_fcm_kernel(
+                    step.fcm_type,
+                    self.params[step.first.name],
+                    self.params[step.second.name],
+                    step.tiling,
+                )
+                res = kernel.simulate_batch(input_of(step.first.name), self.gpu)
+                values[step.second.name] = res.output
+                report.records.append(
+                    _record(
+                        "+".join(step.layer_names), "fcm", res.counters, self.gpu,
+                        self.dtype, res.timing(),
+                    )
+                )
+            elif isinstance(step, LblStep):
+                kernel = build_lbl_kernel(self.params[step.spec.name], step.tiling)
+                res = kernel.simulate_batch(input_of(step.spec.name), self.gpu)
+                values[step.spec.name] = res.output
+                report.records.append(
+                    _record(step.spec.name, "lbl", res.counters, self.gpu,
+                            self.dtype, res.timing())
+                )
+            elif isinstance(step, StdStep):
+                from ..baselines.cudnn import cudnn_batched
+
+                ifms = input_of(step.spec.name)
+                outs = [
+                    run_cudnn(self.params[step.spec.name], ifm, _STD_ALGO, self.gpu)[0]
+                    for ifm in ifms
+                ]
+                values[step.spec.name] = np.stack(outs)
+                counters, timing = cudnn_batched(step.spec, _STD_ALGO, self.gpu, n)
+                report.records.append(
+                    _record(step.spec.name, "std", counters, self.gpu, self.dtype, timing)
+                )
+            elif isinstance(step, GlueStep):
+                spec = step.spec
+                preds = self.graph.predecessors(spec.name)
+                scales = [self.params.out_scales.get(p) for p in preds]
+                outs = []
+                for i in range(n):
+                    inputs = [
+                        values[p][i] if p in values else batch_input[i] for p in preds
+                    ]
+                    out, _scale = apply_glue(spec, inputs, scales, self.dtype)
+                    outs.append(out)
+                values[spec.name] = np.stack(outs)
+                counters = glue_counters(spec, self.dtype).batched(n)
+                report.records.append(
+                    _record(spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+            else:  # pragma: no cover - exhaustive
+                raise PlanError(f"unknown plan step {step!r}")
+        report.output = values.get(self._output_name())
+        return report
+
+    def run_analytic_batch(self, batch_size: int) -> SessionReport:
+        """Counters-only batched execution (the serving fast path).
+
+        Byte/MAC totals equal :meth:`run_batch` exactly, with no tensors
+        materialized — one call per (plan, batch size) prices a whole
+        micro-batch in microseconds.
+        """
+        if batch_size < 1:
+            raise PlanError(f"batch_size must be >= 1, got {batch_size}")
+        from ..baselines.cudnn import cudnn_batched
+
+        report = SessionReport(
+            self.plan.model_name, self.gpu, self.dtype, batch_size=batch_size
+        )
+        for step in self.plan.steps:
+            if isinstance(step, FcmStep):
+                counters = fcm_counters(
+                    step.fcm_type, step.first, step.second, step.tiling
+                ).batched(
+                    batch_size,
+                    step.first.weights_bytes + step.second.weights_bytes,
+                )
+                report.records.append(
+                    _record("+".join(step.layer_names), "fcm", counters,
+                            self.gpu, self.dtype)
+                )
+            elif isinstance(step, LblStep):
+                counters = lbl_counters(step.spec, step.tiling).batched(
+                    batch_size, step.spec.weights_bytes
+                )
+                report.records.append(
+                    _record(step.spec.name, "lbl", counters, self.gpu, self.dtype)
+                )
+            elif isinstance(step, StdStep):
+                counters, timing = cudnn_batched(
+                    step.spec, _STD_ALGO, self.gpu, batch_size
+                )
+                report.records.append(
+                    _record(step.spec.name, "std", counters, self.gpu, self.dtype, timing)
+                )
+            elif isinstance(step, GlueStep):
+                counters = glue_counters(step.spec, self.dtype).batched(batch_size)
+                report.records.append(
+                    _record(step.spec.name, "glue", counters, self.gpu, self.dtype)
+                )
+        return report
 
     # ---- analytic execution -----------------------------------------------------
     def run_analytic(self) -> SessionReport:

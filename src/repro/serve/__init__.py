@@ -1,0 +1,32 @@
+"""Batched multi-model serving: plan caching, micro-batching, load replay.
+
+The serving subsystem turns the one-shot reproduction pipeline (plan ->
+session -> report) into a request-serving layer:
+
+* :mod:`repro.serve.cache` — LRU :class:`PlanCache` memoizing FusePlanner
+  plans + materialized weights per (model, dtype, GPU, convention);
+* :mod:`repro.serve.server` — :class:`ModelServer` with synchronous batched
+  submits and a micro-batching request queue (flush on ``max_batch`` or
+  deadline);
+* :mod:`repro.serve.loadgen` — deterministic arrival streams and the
+  discrete-event :func:`replay` harness reporting img/s and p50/p99 latency.
+"""
+
+from .cache import CachedPlan, CacheStats, PlanCache, PlanKey
+from .loadgen import FakeClock, StreamReport, arrival_times, replay
+from .server import InferenceRequest, InferenceResult, ModelServer, ServerStats
+
+__all__ = [
+    "CachedPlan",
+    "CacheStats",
+    "PlanCache",
+    "PlanKey",
+    "FakeClock",
+    "StreamReport",
+    "arrival_times",
+    "replay",
+    "InferenceRequest",
+    "InferenceResult",
+    "ModelServer",
+    "ServerStats",
+]

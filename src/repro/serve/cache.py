@@ -1,0 +1,144 @@
+"""LRU plan cache: plan once, serve many times.
+
+FusePlanner's whole-model pass (tiling search over every layer and fusion
+candidate) costs orders of magnitude more than pricing one inference, yet its
+output depends only on (model, precision, GPU, cost convention).  The serving
+layer therefore memoizes the :class:`~repro.planner.plan.ExecutionPlan`
+*together with* the materialized :class:`~repro.runtime.network_params.
+NetworkParams` and a ready :class:`~repro.runtime.session.InferenceSession`,
+keyed by exactly those four inputs.  Cross-layer reuse work (Wang et al.)
+makes the same point for fused kernels: fusion pays off most when one plan is
+amortized over many invocations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..core.dtypes import DType
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from ..ir.graph import ModelGraph
+from ..models.zoo import build_model
+from ..planner.plan import ExecutionPlan
+from ..planner.planner import FusePlanner
+from ..runtime.network_params import NetworkParams, materialize_network
+from ..runtime.session import InferenceSession, SessionReport
+
+__all__ = ["PlanKey", "CachedPlan", "CacheStats", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Identity of one memoized plan: everything FusePlanner's output
+    depends on (and nothing it doesn't — request batch size is *not* part
+    of the key; one plan serves every batch size)."""
+
+    model: str
+    dtype: str
+    gpu: str
+    convention: str
+
+    @classmethod
+    def of(cls, model: str, dtype: DType, gpu: GpuSpec, convention: str) -> "PlanKey":
+        return cls(model=model, dtype=dtype.value, gpu=gpu.name, convention=convention)
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: the planned model, ready to execute at any batch size."""
+
+    key: PlanKey
+    graph: ModelGraph
+    plan: ExecutionPlan
+    params: NetworkParams
+    session: InferenceSession
+    #: memoized analytic reports, keyed by batch size (pricing a micro-batch
+    #: of a size already seen is then a dict lookup).
+    _analytic: dict[int, SessionReport] = field(default_factory=dict)
+
+    def analytic_report(self, batch_size: int) -> SessionReport:
+        """Counters-only batched report for this plan (memoized per size)."""
+        if batch_size not in self._analytic:
+            self._analytic[batch_size] = self.session.run_analytic_batch(batch_size)
+        return self._analytic[batch_size]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction tally plus the planner-invocation count the
+    serving acceptance test pins down (N requests, 1 planning pass)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    planner_invocations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """LRU cache of :class:`CachedPlan` entries.
+
+    ``capacity`` bounds the number of resident plans (a materialized network
+    holds every weight tensor, so unbounded growth would be a memory leak in
+    a long-running server).  Least-recently-*used* eviction: every hit
+    refreshes the entry's recency.
+    """
+
+    def __init__(self, capacity: int = 8, seed: int = 0) -> None:
+        if capacity < 1:
+            raise PlanError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seed = seed
+        self.stats = CacheStats()
+        self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    def keys(self) -> list[PlanKey]:
+        """Resident keys, least recently used first."""
+        return list(self._entries)
+
+    def get(
+        self,
+        model: str,
+        dtype: DType,
+        gpu: GpuSpec,
+        convention: str = "paper",
+    ) -> CachedPlan:
+        """Return the memoized plan, building (and possibly evicting) on miss."""
+        key = PlanKey.of(model, dtype, gpu, convention)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        entry = self._build(key, model, dtype, gpu, convention)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def _build(
+        self, key: PlanKey, model: str, dtype: DType, gpu: GpuSpec, convention: str
+    ) -> CachedPlan:
+        graph = build_model(model, dtype)
+        self.stats.planner_invocations += 1
+        plan = FusePlanner(gpu, convention).plan(graph)
+        params = materialize_network(graph, dtype, self.seed)
+        session = InferenceSession(graph, plan, params)
+        return CachedPlan(key=key, graph=graph, plan=plan, params=params, session=session)

@@ -1,0 +1,181 @@
+"""Synthetic request streams and a discrete-event replay harness.
+
+The serving benchmarks need latency *distributions*, not just batch
+throughput: a request's latency is its queue wait (micro-batch formation +
+device busy time) plus its batch's simulated execution.  :func:`replay`
+drives a :class:`~repro.serve.server.ModelServer` with a deterministic
+arrival stream on a :class:`FakeClock`, advancing simulated time by each
+flushed batch's execution latency so device occupancy back-pressures later
+arrivals — a small discrete-event simulation in the spirit of serving-system
+load generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dtypes import DType
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from .server import InferenceResult, ModelServer
+
+__all__ = ["FakeClock", "StreamReport", "arrival_times", "replay"]
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock (the server's clock/sleep pair)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise PlanError(f"cannot advance a clock by {dt}")
+        self.t += dt
+
+    def sleep(self, dt: float) -> None:
+        self.advance(dt)
+
+
+@dataclass
+class StreamReport:
+    """Result of replaying one request stream against a server."""
+
+    model: str
+    gpu: str
+    dtype: str
+    n_requests: int
+    max_batch: int
+    rate_rps: float
+    duration_s: float
+    throughput_img_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    mean_batch: float
+    energy_per_image_j: float
+    planner_invocations: int
+    latencies_s: list[float] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (
+            f"{self.model} on {self.gpu} ({self.dtype}): {self.n_requests} reqs "
+            f"@ {self.rate_rps:g} rps, max_batch={self.max_batch} -> "
+            f"{self.throughput_img_s:.0f} img/s, "
+            f"p50 {self.latency_p50_s * 1e3:.3f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.3f} ms, "
+            f"mean batch {self.mean_batch:.1f}, "
+            f"{self.energy_per_image_j * 1e3:.3f} mJ/img, "
+            f"{self.planner_invocations} planning pass(es)"
+        )
+
+
+def arrival_times(n: int, rate_rps: float, *, poisson: bool = False, seed: int = 0) -> list[float]:
+    """Arrival instants for ``n`` requests at ``rate_rps``.
+
+    Uniform spacing by default (deterministic benches); ``poisson=True``
+    draws exponential inter-arrival gaps from a seeded generator.
+    """
+    if n < 1 or rate_rps <= 0:
+        raise PlanError(f"need n >= 1 and rate > 0, got n={n}, rate={rate_rps}")
+    if not poisson:
+        return [i / rate_rps for i in range(n)]
+    gaps = np.random.default_rng(seed).exponential(1.0 / rate_rps, size=n)
+    return list(np.cumsum(gaps) - gaps[0])
+
+
+def replay(
+    gpu: GpuSpec,
+    model: str,
+    n_requests: int,
+    rate_rps: float,
+    dtype: DType = DType.FP32,
+    *,
+    max_batch: int = 8,
+    max_delay_s: float = 2e-3,
+    poisson: bool = False,
+    seed: int = 0,
+    server: ModelServer | None = None,
+) -> StreamReport:
+    """Replay a synthetic stream and report throughput + latency percentiles.
+
+    Builds a fresh :class:`ModelServer` on a :class:`FakeClock` (pass
+    ``server`` to reuse one — it must have been constructed with a FakeClock
+    as both ``clock`` and ``sleep``).  Requests are analytic (counters-only),
+    so full-size models replay in milliseconds.
+    """
+    clock = FakeClock()
+    if server is None:
+        server = ModelServer(
+            gpu,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+    elif isinstance(server.clock, FakeClock):
+        clock = server.clock
+    else:
+        raise PlanError("replay needs a server driven by a FakeClock")
+
+    arrivals = arrival_times(n_requests, rate_rps, poisson=poisson, seed=seed)
+    results: list[InferenceResult] = []
+    #: device-busy delay between a request's *arrival* and its enqueue (the
+    #: clock may already sit past the arrival instant after executing earlier
+    #: batches); the server's wait_s starts at enqueue, so this is added back
+    #: when reporting latency.
+    backlog_wait: dict[int, float] = {}
+
+    def flush_due() -> None:
+        flushed = server.step()
+        if flushed:
+            results.extend(flushed)
+            # Device occupancy: simulated execution takes simulated time.
+            for seq in sorted({r.batch_seq for r in flushed}):
+                clock.advance(next(r.exec_s for r in flushed if r.batch_seq == seq))
+
+    for t in arrivals:
+        # Any partial batch whose deadline expires before this arrival
+        # flushes at its deadline, not lazily at the next enqueue.
+        while True:
+            due = server.next_deadline()
+            if due is None or due > t:
+                break
+            clock.t = max(clock.t, due)
+            before = len(results)
+            flush_due()
+            if len(results) == before:
+                break
+        clock.t = max(clock.t, t)
+        rid = server.enqueue(model, dtype=dtype)
+        backlog_wait[rid] = clock.t - t
+        flush_due()
+
+    while server.pending():
+        due = server.next_deadline()
+        if due is not None:
+            clock.t = max(clock.t, due)
+        flush_due()
+
+    latencies = sorted(r.latency_s + backlog_wait[r.request_id] for r in results)
+    duration = max(clock.t - arrivals[0], 1e-12)
+    return StreamReport(
+        model=model,
+        gpu=gpu.name,
+        dtype=dtype.value,
+        n_requests=n_requests,
+        max_batch=server.max_batch,
+        rate_rps=rate_rps,
+        duration_s=duration,
+        throughput_img_s=n_requests / duration,
+        latency_p50_s=float(np.percentile(latencies, 50)),
+        latency_p99_s=float(np.percentile(latencies, 99)),
+        mean_batch=server.stats.mean_batch,
+        energy_per_image_j=float(np.mean([r.energy_per_image_j for r in results])),
+        planner_invocations=server.cache.stats.planner_invocations,
+        latencies_s=latencies,
+    )

@@ -1,0 +1,249 @@
+"""Batched multi-model inference server over the simulated runtime.
+
+:class:`ModelServer` is the serving front end the ROADMAP's throughput story
+needs: requests for any registered model are planned **once** (via the LRU
+:class:`~repro.serve.cache.PlanCache`), then executed through the batch-aware
+session paths so per-launch overheads and weight traffic amortize across a
+micro-batch.  Two entry points:
+
+* :meth:`ModelServer.submit` / :meth:`ModelServer.submit_analytic` — the
+  synchronous path: one call, one batched pass.
+* :meth:`ModelServer.enqueue` + :meth:`ModelServer.step` /
+  :meth:`ModelServer.serve_forever` — the queued path: requests accumulate
+  per (model, precision) key and flush as one fused pass when a micro-batch
+  fills (``max_batch``) or the oldest request's deadline (``max_delay_s``)
+  expires.
+
+The clock is injectable so schedulers and tests can drive deadline flushing
+deterministically (see :class:`~repro.serve.loadgen.FakeClock`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.dtypes import DType
+from ..errors import PlanError, ShapeError
+from ..gpu.specs import GpuSpec
+from ..runtime.session import SessionReport
+from .cache import CacheStats, PlanCache
+
+__all__ = ["InferenceRequest", "InferenceResult", "ServerStats", "ModelServer"]
+
+
+@dataclass
+class InferenceRequest:
+    """One queued request: a single image (or an analytic placeholder)."""
+
+    id: int
+    model: str
+    dtype: DType
+    input: np.ndarray | None  # None -> counters-only (analytic) execution
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Completion record for one request, with its micro-batch context."""
+
+    request_id: int
+    model: str
+    batch_seq: int  # which flushed micro-batch served this request
+    batch_size: int
+    wait_s: float  # time spent queued before the batch flushed
+    exec_s: float  # simulated latency of the batched pass
+    energy_per_image_j: float
+    output: np.ndarray | None
+
+    @property
+    def latency_s(self) -> float:
+        """Request latency: queue wait plus the batched execution."""
+        return self.wait_s + self.exec_s
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving counters (plan-cache stats ride along)."""
+
+    requests: int = 0
+    images_served: int = 0
+    batches: int = 0
+    sim_time_s: float = 0.0
+    energy_j: float = 0.0
+    plan_cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.images_served / self.batches if self.batches else 0.0
+
+
+class ModelServer:
+    """Micro-batching inference server with memoized FusePlanner plans."""
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        *,
+        max_batch: int = 8,
+        max_delay_s: float = 2e-3,
+        cache_capacity: int = 8,
+        convention: str = "paper",
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_batch < 1:
+            raise PlanError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise PlanError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.gpu = gpu
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.convention = convention
+        self.cache = PlanCache(capacity=cache_capacity, seed=seed)
+        self.clock = clock
+        self.sleep = sleep
+        self.stats = ServerStats(plan_cache=self.cache.stats)
+        self._queues: OrderedDict[tuple[str, str], deque[InferenceRequest]] = OrderedDict()
+        self._next_id = 0
+        self._next_batch = 0
+
+    # ---- synchronous path -----------------------------------------------------
+    def submit(
+        self, model: str, inputs: np.ndarray, dtype: DType = DType.FP32
+    ) -> SessionReport:
+        """Run one functional batched pass over ``inputs`` ((N, C, H, W) or a
+        single (C, H, W) image) and return its report."""
+        if inputs.ndim == 3:
+            inputs = inputs[None]
+        if inputs.ndim != 4:
+            raise ShapeError(f"submit expects (N, C, H, W), got {inputs.shape}")
+        cached = self.cache.get(model, dtype, self.gpu, self.convention)
+        report = cached.session.run_batch(inputs)
+        self._account(report)
+        self.stats.requests += inputs.shape[0]
+        return report
+
+    def submit_analytic(
+        self, model: str, batch_size: int = 1, dtype: DType = DType.FP32
+    ) -> SessionReport:
+        """Price one batched pass (counters only, memoized per batch size)."""
+        cached = self.cache.get(model, dtype, self.gpu, self.convention)
+        report = cached.analytic_report(batch_size)
+        self._account(report)
+        self.stats.requests += batch_size
+        return report
+
+    # ---- queued path -----------------------------------------------------------
+    def enqueue(
+        self, model: str, inputs: np.ndarray | None = None, dtype: DType = DType.FP32
+    ) -> int:
+        """Queue one request (one image, or analytic when ``inputs`` is None);
+        returns its request id.  Nothing executes until :meth:`step` flushes."""
+        req = InferenceRequest(
+            id=self._next_id,
+            model=model,
+            dtype=dtype,
+            input=inputs,
+            enqueued_at=self.clock(),
+        )
+        self._next_id += 1
+        self._queues.setdefault((model, dtype.value), deque()).append(req)
+        self.stats.requests += 1
+        return req.id
+
+    def pending(self) -> int:
+        """Requests currently queued across all (model, precision) keys."""
+        return sum(len(q) for q in self._queues.values())
+
+    def next_deadline(self) -> float | None:
+        """Earliest instant at which a queued micro-batch must flush."""
+        oldest = [q[0].enqueued_at for q in self._queues.values() if q]
+        return min(oldest) + self.max_delay_s if oldest else None
+
+    def step(self, *, force: bool = False) -> list[InferenceResult]:
+        """Flush every due micro-batch: full batches always, partial ones
+        once their oldest request has waited ``max_delay_s`` (or ``force``)."""
+        now = self.clock()
+        results: list[InferenceResult] = []
+        for key in list(self._queues):
+            queue = self._queues[key]
+            while len(queue) >= self.max_batch:
+                results.extend(self._flush(queue, self.max_batch, now))
+            # Same arithmetic as next_deadline(), so stepping a clock pinned
+            # to the deadline always flushes (a - b >= d can round false when
+            # a == b + d in floats).
+            if queue and (force or now >= queue[0].enqueued_at + self.max_delay_s):
+                results.extend(self._flush(queue, len(queue), now))
+            if not queue:
+                del self._queues[key]
+        return results
+
+    def serve_forever(
+        self,
+        *,
+        max_batches: int | None = None,
+        poll_s: float = 1e-4,
+    ) -> list[InferenceResult]:
+        """Serve until the queue drains (or ``max_batches`` flushes happen).
+
+        The toy stand-in for a serving loop: repeatedly flush due batches,
+        sleeping ``poll_s`` between polls so partial batches age past their
+        deadline.  With a :class:`~repro.serve.loadgen.FakeClock` as the
+        server's clock/sleep pair this is fully deterministic.
+        """
+        results: list[InferenceResult] = []
+        batches_done = 0
+        while self.pending():
+            flushed = self.step()
+            if flushed:
+                results.extend(flushed)
+                batches_done = len({r.batch_seq for r in results})
+                if max_batches is not None and batches_done >= max_batches:
+                    break
+            else:
+                self.sleep(poll_s)
+        return results
+
+    # ---- internals ------------------------------------------------------------
+    def _flush(
+        self, queue: deque[InferenceRequest], count: int, now: float
+    ) -> list[InferenceResult]:
+        batch = [queue.popleft() for _ in range(count)]
+        first = batch[0]
+        cached = self.cache.get(first.model, first.dtype, self.gpu, self.convention)
+        if all(r.input is not None for r in batch):
+            report = cached.session.run_batch(np.stack([r.input for r in batch]))
+        else:
+            # Any placeholder request demotes the whole batch to counters-only
+            # (outputs None); mixing real tensors into an analytic batch would
+            # silently drop their outputs otherwise.
+            report = cached.analytic_report(len(batch))
+        self._account(report)
+        seq = self._next_batch
+        self._next_batch += 1
+        out = report.output
+        return [
+            InferenceResult(
+                request_id=r.id,
+                model=r.model,
+                batch_seq=seq,
+                batch_size=len(batch),
+                wait_s=max(0.0, now - r.enqueued_at),
+                exec_s=report.latency_s,
+                energy_per_image_j=report.energy_per_image_j,
+                output=out[i] if out is not None else None,
+            )
+            for i, r in enumerate(batch)
+        ]
+
+    def _account(self, report: SessionReport) -> None:
+        self.stats.images_served += report.batch_size
+        self.stats.batches += 1
+        self.stats.sim_time_s += report.latency_s
+        self.stats.energy_j += report.energy_j

@@ -6,6 +6,28 @@ import pytest
 
 from repro.cli import build_parser, main
 
+#: Every registered subcommand must carry a worked-example --help epilog.
+SUBCOMMANDS = ("gpus", "table2", "fig6", "fig10", "plan", "serve", "bench-serve")
+
+
+@pytest.fixture
+def tiny_model(monkeypatch):
+    """A fast-to-plan model registered into the zoo for serve smoke tests."""
+    from repro.core.dtypes import DType
+    from repro.ir.blocks import dsc_block, standard_conv
+    from repro.ir.graph import ModelGraph
+    from repro.models.zoo import MODELS
+
+    def build(dtype=DType.FP32):
+        g = ModelGraph("tiny_cli")
+        last = standard_conv(g, "stem", 3, 8, 32, 32, stride=2, dtype=dtype)
+        dsc_block(g, "b1", 8, 16, 16, 16, after=last, dtype=dtype)
+        g.validate()
+        return g
+
+    monkeypatch.setitem(MODELS, "tiny_cli", build)
+    return "tiny_cli"
+
 
 def test_gpus_listing(capsys):
     assert main(["gpus"]) == 0
@@ -22,6 +44,35 @@ def test_plan_command(capsys):
 def test_plan_int8(capsys):
     assert main(["plan", "mobilenet_v1", "--gpu", "Orin", "--dtype", "int8"]) == 0
     assert "int8" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("cmd", SUBCOMMANDS)
+def test_help_epilog_has_examples(cmd, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main([cmd, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "examples:" in out
+    assert f"python -m repro.cli {cmd}" in out
+
+
+def test_serve_command(capsys, tiny_model):
+    assert main([
+        "serve", tiny_model, "--gpu", "GTX",
+        "--requests", "16", "--rate", "100000", "--max-batch", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "img/s" in out and "1 planning pass" in out
+
+
+def test_bench_serve_command(capsys, tiny_model):
+    assert main([
+        "bench-serve", "--models", tiny_model, "--batches", "1,2,4",
+        "--gpu", "GTX",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "vs b=1" in out
+    assert "planner invocations: 1" in out
 
 
 def test_unknown_command_rejected():
