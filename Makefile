@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench docs-check
+.PHONY: test bench-smoke bench docs-check lint
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
@@ -20,3 +20,7 @@ bench:
 ## fail if README.md / docs reference modules, commands or files that don't exist
 docs-check:
 	$(PYTHON) tools/docs_check.py README.md docs/architecture.md
+
+## static checks (ruff is provisioned in CI; run `pip install ruff` locally)
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks tools examples

@@ -91,8 +91,47 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from .planner.planner import FusePlanner
 
     graph = build_model(args.model, _dtype(args.dtype))
-    plan = FusePlanner(gpu_by_name(args.gpu)).plan(graph)
+    planner = FusePlanner(gpu_by_name(args.gpu), max_chain=args.max_chain)
+    plan = planner.plan(graph)
     print(plan.describe())
+    if args.explain:
+        from .experiments.reporting import format_table
+
+        print("\ncandidates (every fusion the planner evaluated):")
+        rows = [
+            [
+                "+".join(c.layers), c.label,
+                "yes" if c.feasible else "no",
+                c.gma_bytes, c.lbl_gma_bytes, c.savings_bytes,
+                "*" if c.chosen else "",
+            ]
+            for c in planner.last_candidates
+        ]
+        print(format_table(
+            ["layers", "module", "feasible", "fused GMA B", "LBL GMA B",
+             "savings B", "chosen"],
+            rows,
+        ))
+    return 0
+
+
+def _cmd_chains(args: argparse.Namespace) -> int:
+    from .experiments.chains import chain_comparison
+    from .experiments.reporting import format_table
+
+    points = chain_comparison(
+        _dtype(args.dtype),
+        gpu=gpu_by_name(args.gpu),
+        models=tuple(args.models.split(",")),
+        max_chain=args.max_chain,
+    )
+    print(format_table(
+        ["model", "gpu", "pairwise GMA", f"chain GMA (K={args.max_chain})",
+         "saving", "chains>=3", "longest", "speedup"],
+        [[p.model, p.gpu, p.pairwise_gma_bytes, p.chain_gma_bytes,
+          f"{p.gma_saving:.1%}", p.chain_count, p.longest_chain,
+          f"{p.speedup_vs_pairwise:.2f}x"] for p in points],
+    ))
     return 0
 
 
@@ -108,6 +147,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms * 1e-3,
         poisson=args.poisson,
+        max_chain=args.max_chain,
     )
     print(report.describe())
     return 0
@@ -117,7 +157,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from .experiments.reporting import format_table
     from .serve.server import ModelServer
 
-    server = ModelServer(gpu_by_name(args.gpu))
+    server = ModelServer(gpu_by_name(args.gpu), max_chain=args.max_chain)
     batches = [int(b) for b in args.batches.split(",")]
     rows = []
     for model in args.models.split(","):
@@ -163,7 +203,13 @@ _EPILOGS: dict[str, str] = {
     "plan": (
         "examples:\n"
         "  python -m repro.cli plan mobilenet_v2 --gpu RTX\n"
-        "  python -m repro.cli plan xception --gpu Orin --dtype int8"
+        "  python -m repro.cli plan xception --gpu Orin --dtype int8\n"
+        "  python -m repro.cli plan mobilenet_v2 --max-chain 3 --explain"
+    ),
+    "chains": (
+        "examples:\n"
+        "  python -m repro.cli chains --dtype int8\n"
+        "  python -m repro.cli chains --models mobilenet_v2 --max-chain 4"
     ),
     "serve": (
         "examples:\n"
@@ -208,6 +254,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model")
     p.add_argument("--gpu", default="RTX")
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--max-chain", type=int, default=2,
+                   help="longest fused chain the planner may pick (default 2, "
+                        "the paper's pairwise FCMs)")
+    p.add_argument("--explain", action="store_true",
+                   help="dump every evaluated fusion candidate with its "
+                        "estimated GMA and savings")
+
+    p = _add_cmd(sub, "chains", _cmd_chains,
+                 "compare pairwise (max-chain 2) vs chain fusion per model")
+    p.add_argument("--models", default=",".join(
+        ("mobilenet_v1", "mobilenet_v2", "xception", "proxylessnas")))
+    p.add_argument("--gpu", default="RTX")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--max-chain", type=int, default=3,
+                   help="chain cap for the chain-planner column (default 3)")
 
     p = _add_cmd(sub, "serve", _cmd_serve,
                  "replay a request stream through the micro-batching server")
@@ -224,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch deadline in ms (default 2.0)")
     p.add_argument("--poisson", action="store_true",
                    help="Poisson arrivals instead of uniform spacing")
+    p.add_argument("--max-chain", type=int, default=2,
+                   help="planner chain cap for served models (default 2)")
 
     p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
                  "sweep batch size x model and report serving throughput")
@@ -233,6 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated batch sizes (default 1,2,4,8)")
     p.add_argument("--gpu", default="RTX")
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--max-chain", type=int, default=2,
+                   help="planner chain cap for served models (default 2)")
     return parser
 
 

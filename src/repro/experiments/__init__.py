@@ -1,6 +1,7 @@
 """Experiment harnesses regenerating every table and figure of the paper."""
 
-from .analytic import fcm_counters, lbl_counters, pair_lbl_counters
+from .analytic import chain_counters, fcm_counters, lbl_counters, pair_lbl_counters
+from .chains import ChainComparison, chain_comparison, compare_chain_planning
 from .fig1 import Fig1Row, figure1
 from .fig6_fig7 import SpeedupPoint, fcm_vs_lbl_case, figure6_7
 from .fig8 import GmaTimeBar, figure8
@@ -11,8 +12,12 @@ from .reporting import format_table
 from .table3 import BoundRow, table3
 
 __all__ = [
+    "chain_counters",
     "fcm_counters",
     "lbl_counters",
+    "ChainComparison",
+    "chain_comparison",
+    "compare_chain_planning",
     "pair_lbl_counters",
     "Fig1Row",
     "figure1",

@@ -7,6 +7,11 @@ by integration tests), so experiment harnesses can sweep all fusion cases x
 GPUs without materializing tensors.
 """
 
-from ..planner.analytic import fcm_counters, lbl_counters, pair_lbl_counters
+from ..planner.analytic import (
+    chain_counters,
+    fcm_counters,
+    lbl_counters,
+    pair_lbl_counters,
+)
 
-__all__ = ["lbl_counters", "fcm_counters", "pair_lbl_counters"]
+__all__ = ["lbl_counters", "fcm_counters", "chain_counters", "pair_lbl_counters"]

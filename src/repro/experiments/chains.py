@@ -1,0 +1,82 @@
+"""Pairwise-vs-chain planner comparison — the chain-fusion headline table.
+
+Beyond the paper: the pairwise FCM planner leaves one layer of every
+inverted-residual block unfused (a PW->DW->PW run has three layers but each
+conv joins at most one pair).  The chain planner's interval DP can fuse the
+whole run when the chained cost model says it pays.  This experiment plans
+every CNN workload twice — ``max_chain=2`` (the paper's pairwise plans,
+reproduced bit-for-bit) and ``max_chain=K`` — and reports the estimated and
+analytically executed GMA, latency and energy deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dtypes import DType
+from ..gpu.specs import GpuSpec, RTX_A4000
+from ..models.zoo import CNN_MODELS, PAPER_LABELS, build_model
+from ..planner.planner import FusePlanner
+from ..runtime.session import InferenceSession
+
+__all__ = ["ChainComparison", "chain_comparison", "compare_chain_planning"]
+
+
+@dataclass(frozen=True)
+class ChainComparison:
+    """One model's pairwise-vs-chain planning outcome."""
+
+    model: str
+    gpu: str
+    dtype: str
+    max_chain: int
+    pairwise_gma_bytes: int
+    chain_gma_bytes: int
+    chain_count: int  # fused steps of length >= 3
+    longest_chain: int
+    pairwise_fused_fraction: float
+    chain_fused_fraction: float
+    speedup_vs_pairwise: float
+    energy_vs_pairwise: float
+
+    @property
+    def gma_saving(self) -> float:
+        """Fractional GMA reduction of chain plans over pairwise plans."""
+        if self.pairwise_gma_bytes == 0:
+            return 0.0
+        return 1.0 - self.chain_gma_bytes / self.pairwise_gma_bytes
+
+
+def compare_chain_planning(
+    model_name: str, gpu: GpuSpec, dtype: DType, max_chain: int = 3
+) -> ChainComparison:
+    """Plan one model pairwise and chained; execute both analytically."""
+    graph = build_model(model_name, dtype)
+    pair_plan = FusePlanner(gpu, max_chain=2).plan(graph)
+    chain_plan = FusePlanner(gpu, max_chain=max_chain).plan(graph)
+    pair = InferenceSession(graph, pair_plan, params=None).run_analytic()
+    chain = InferenceSession(graph, chain_plan, params=None).run_analytic()
+    return ChainComparison(
+        model=PAPER_LABELS.get(model_name, model_name),
+        gpu=gpu.name,
+        dtype=str(dtype),
+        max_chain=max_chain,
+        pairwise_gma_bytes=pair_plan.est_total_gma_bytes,
+        chain_gma_bytes=chain_plan.est_total_gma_bytes,
+        chain_count=sum(1 for s in chain_plan.fcm_steps if s.length >= 3),
+        longest_chain=chain_plan.max_chain_length,
+        pairwise_fused_fraction=pair_plan.fused_layer_fraction,
+        chain_fused_fraction=chain_plan.fused_layer_fraction,
+        speedup_vs_pairwise=pair.latency_s / chain.latency_s,
+        energy_vs_pairwise=chain.energy_j / pair.energy_j,
+    )
+
+
+def chain_comparison(
+    dtype: DType,
+    gpu: GpuSpec = RTX_A4000,
+    models: tuple[str, ...] = CNN_MODELS,
+    max_chain: int = 3,
+) -> list[ChainComparison]:
+    """The comparison table: every CNN workload, pairwise vs chains."""
+    return [compare_chain_planning(m, gpu, dtype, max_chain) for m in models]

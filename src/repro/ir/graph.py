@@ -145,22 +145,58 @@ class ModelGraph:
         intermediate would force recomputation for the other consumers), and
         the pair is one of DW->PW, PW->DW, PW->PW.
         """
-        out: list[FusionCandidate] = []
+        return [
+            FusionCandidate(first=run[i], second=run[i + 1])
+            for run in self.fusion_runs()
+            for i in range(len(run) - 1)
+        ]
+
+    def _chainable_edge(self, name: str) -> str | None:
+        """Successor of ``name`` it could fuse with, or ``None``.
+
+        The edge qualifies when the producer is a DW/PW conv whose *only*
+        consumer is a DW/PW conv with no other producer, and the pair is not
+        DW->DW.
+        """
+        first = self.spec(name)
+        if not isinstance(first, ConvSpec) or first.kind is ConvKind.STANDARD:
+            return None
+        succ = self.successors(name)
+        if len(succ) != 1:
+            return None
+        second = self.spec(succ[0])
+        if not isinstance(second, ConvSpec) or second.kind is ConvKind.STANDARD:
+            return None
+        if len(self.predecessors(succ[0])) != 1:
+            return None
+        if (first.kind, second.kind) == (ConvKind.DEPTHWISE, ConvKind.DEPTHWISE):
+            return None
+        return succ[0]
+
+    def fusion_runs(self) -> list[list[ConvSpec]]:
+        """Maximal linear runs of chainable DW/PW convs, in topological order.
+
+        Each run is a path ``v1 -> v2 -> ... -> vn`` where every edge is a
+        legal fusion adjacency (see :meth:`_chainable_edge`); consecutive
+        pairs within runs are exactly :meth:`fusion_candidates`, and runs of
+        length ``>= 3`` are the chain planner's search space.  Every
+        chainable edge leaves its endpoints with one eligible in- and
+        out-edge at most, so runs are disjoint simple paths and the
+        decomposition is unique.
+        """
+        next_of: dict[str, str] = {}
+        has_prev: set[str] = set()
         for name in self._order:
-            first = self.spec(name)
-            if not isinstance(first, ConvSpec):
+            nxt = self._chainable_edge(name)
+            if nxt is not None:
+                next_of[name] = nxt
+                has_prev.add(nxt)
+        runs: list[list[ConvSpec]] = []
+        for name in self._order:
+            if name in has_prev or (name not in next_of):
                 continue
-            if first.kind is ConvKind.STANDARD:
-                continue
-            succ = self.successors(name)
-            if len(succ) != 1:
-                continue
-            second = self.spec(succ[0])
-            if not isinstance(second, ConvSpec) or second.kind is ConvKind.STANDARD:
-                continue
-            if len(self.predecessors(succ[0])) != 1:
-                continue
-            if (first.kind, second.kind) == (ConvKind.DEPTHWISE, ConvKind.DEPTHWISE):
-                continue
-            out.append(FusionCandidate(first=first, second=second))
-        return out
+            run = [name]
+            while run[-1] in next_of:
+                run.append(next_of[run[-1]])
+            runs.append([self.spec(n) for n in run])
+        return runs

@@ -4,12 +4,13 @@ from .base import KernelResult, SimKernel
 from .direct_dw import DwDirectKernel
 from .direct_pw import PwDirectKernel
 from .epilogue import ConvEpilogue
+from .fused_chain import FusedChainKernel
 from .fused_dwpw import DwPwFusedKernel
 from .fused_pwdw import PwDwFusedKernel
 from .fused_pwdw_r import PwDwRFusedKernel
 from .fused_pwpw import PwPwFusedKernel
 from .params import LayerParams, chain_quant, make_layer_params
-from .registry import build_fcm_kernel, build_lbl_kernel
+from .registry import build_chain_kernel, build_fcm_kernel, build_lbl_kernel
 
 __all__ = [
     "KernelResult",
@@ -17,6 +18,7 @@ __all__ = [
     "DwDirectKernel",
     "PwDirectKernel",
     "ConvEpilogue",
+    "FusedChainKernel",
     "DwPwFusedKernel",
     "PwDwFusedKernel",
     "PwDwRFusedKernel",
@@ -24,6 +26,7 @@ __all__ = [
     "LayerParams",
     "chain_quant",
     "make_layer_params",
+    "build_chain_kernel",
     "build_fcm_kernel",
     "build_lbl_kernel",
 ]

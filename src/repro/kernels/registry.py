@@ -8,7 +8,7 @@ canonical tiling-dict keys each kernel understands.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..core.fcm import FcmType
 from ..core.tiling import DwTiling, PwTiling
@@ -17,13 +17,14 @@ from ..ir.layers import ConvKind
 from .base import SimKernel
 from .direct_dw import DwDirectKernel
 from .direct_pw import PwDirectKernel
+from .fused_chain import FusedChainKernel
 from .fused_dwpw import DwPwFusedKernel
 from .fused_pwdw import PwDwFusedKernel
 from .fused_pwdw_r import PwDwRFusedKernel
 from .fused_pwpw import PwPwFusedKernel
 from .params import LayerParams
 
-__all__ = ["build_lbl_kernel", "build_fcm_kernel"]
+__all__ = ["build_lbl_kernel", "build_fcm_kernel", "build_chain_kernel"]
 
 
 def build_lbl_kernel(params: LayerParams, tiling: Mapping[str, int]) -> SimKernel:
@@ -70,3 +71,25 @@ def build_fcm_kernel(
     if fcm_type is FcmType.PWPW:
         return PwPwFusedKernel(first, second, tiling["tile_hw"], tiling["tile_m"])
     raise UnsupportedError(f"unknown FCM type {fcm_type}")
+
+
+def build_chain_kernel(
+    stages: Sequence[LayerParams],
+    tiling: Mapping[str, int],
+    fcm_type: FcmType | None = None,
+) -> SimKernel:
+    """Build the fused kernel for a chain of any length.
+
+    Length-2 chains carrying their pairwise ``fcm_type`` route to the four
+    specialized FCM kernels (whose tiling vocabularies match the pairwise
+    estimators byte-for-byte); longer chains build the generic
+    :class:`~repro.kernels.fused_chain.FusedChainKernel` with the chain
+    vocabulary ``tile_h``/``tile_w``[/``tile_m``].
+    """
+    if len(stages) < 2:
+        raise UnsupportedError("a fused chain kernel needs at least two stages")
+    if len(stages) == 2 and fcm_type is not None:
+        return build_fcm_kernel(fcm_type, stages[0], stages[1], tiling)
+    return FusedChainKernel(
+        stages, tiling["tile_h"], tiling["tile_w"], tiling.get("tile_m")
+    )

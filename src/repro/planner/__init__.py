@@ -1,5 +1,6 @@
 """FusePlanner: cost models (paper Eq. 1-4), tile search, and the DAG planner."""
 
+from .chain_costs import chain_feasible, chain_footprints, chain_gma, chain_tiling_keys
 from .costs import (
     GmaEstimate,
     dw_feasible,
@@ -12,9 +13,9 @@ from .costs import (
     pw_tile_footprint,
 )
 from .fcm_costs import FcmCost, fcm_feasible, fcm_footprints, fcm_gma
-from .plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
-from .planner import FusePlanner, FusionDecision
-from .search import SearchResult, best_fcm_tiling, best_lbl_tiling
+from .plan import ChainStep, ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
+from .planner import CandidateReport, ChainDecision, FusePlanner, FusionDecision
+from .search import SearchResult, best_chain_tiling, best_fcm_tiling, best_lbl_tiling
 
 __all__ = [
     "GmaEstimate",
@@ -30,14 +31,22 @@ __all__ = [
     "fcm_feasible",
     "fcm_footprints",
     "fcm_gma",
+    "chain_feasible",
+    "chain_footprints",
+    "chain_gma",
+    "chain_tiling_keys",
     "ExecutionPlan",
+    "ChainStep",
     "FcmStep",
     "GlueStep",
     "LblStep",
     "StdStep",
     "FusePlanner",
     "FusionDecision",
+    "ChainDecision",
+    "CandidateReport",
     "SearchResult",
+    "best_chain_tiling",
     "best_fcm_tiling",
     "best_lbl_tiling",
 ]

@@ -13,15 +13,17 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..core.chain import FusedChain
 from ..core.fcm import FcmType
 from ..core.tiling import DwTiling, PwTiling, ceil_div
 from ..errors import UnsupportedError
 from ..gpu.counters import AccessCounters
 from ..ir.layers import ConvKind, ConvSpec
+from .chain_costs import chain_gma
 from .costs import lbl_gma
 from .fcm_costs import fcm_gma
 
-__all__ = ["lbl_counters", "fcm_counters", "pair_lbl_counters"]
+__all__ = ["lbl_counters", "fcm_counters", "chain_counters", "pair_lbl_counters"]
 
 
 def _pw_rereads(spec: ConvSpec, tiling: PwTiling, counters: AccessCounters) -> None:
@@ -121,6 +123,47 @@ def fcm_counters(
         n_sp = ceil_div(out_hw, tile_hw)
         counters.reread(w1, (n_sp - 1) * w1)
         counters.reread(w2, (n_sp - 1) * w2)
+    return counters
+
+
+def chain_counters(
+    specs: tuple[ConvSpec, ...],
+    tiling: Mapping[str, int],
+    fcm_type: FcmType | None = None,
+) -> AccessCounters:
+    """Counters of one fused-chain launch (redundant MACs included).
+
+    Length-2 chains with a pairwise ``fcm_type`` delegate to
+    :func:`fcm_counters` so the pairwise annotations are preserved
+    byte-for-byte; longer chains use the compositional chain estimator.
+    """
+    if fcm_type is not None and len(specs) == 2:
+        return fcm_counters(fcm_type, specs[0], specs[1], tiling)
+    chain = FusedChain(specs)
+    cost = chain_gma(chain, tiling, "measured")
+    counters = AccessCounters()
+    counters.kernel_launches = 1
+    counters.read("fcm", cost.gma.read_bytes)
+    counters.write("fcm", cost.gma.write_bytes)
+    counters.compute(cost.useful_macs, cost.redundant_macs)
+    # Re-read annotations: every stage's weights stream once per spatial
+    # tile; any input traffic beyond one pass over the (subsampled) IFM is
+    # halo re-loading of an L2-resident tensor.
+    eb = chain.dtype.nbytes
+    first, last = chain.first, chain.last
+    tile_h = min(tiling["tile_h"], last.out_h)
+    tile_w = min(tiling["tile_w"], last.out_w)
+    n_sp = ceil_div(last.out_h, tile_h) * ceil_div(last.out_w, tile_w)
+    for spec in chain.specs:
+        w = spec.weights_elements * eb
+        counters.reread(w, (n_sp - 1) * w)
+    if first.kind is ConvKind.POINTWISE:
+        ifm_pass = first.in_channels * first.out_h * first.out_w * eb
+    else:
+        ifm_pass = first.ifm.nbytes
+    total_w = chain.weights_bytes
+    ifm_extra = counters.read_bytes - n_sp * total_w - ifm_pass
+    counters.reread(ifm_pass, max(ifm_extra, 0))
     return counters
 
 

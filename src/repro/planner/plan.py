@@ -1,10 +1,14 @@
 """Execution-plan data structures — FusePlanner's output.
 
 A plan lists, in topological order, the steps an inference session executes:
-fused FCM steps (two convs, one kernel), layer-by-layer conv steps, and glue
-steps (residual adds, pooling, ...).  Each conv-bearing step carries the tile
-sizes and the estimated GMA that justified the decision (paper Fig. 5's
-"FCMs / LBL" output box).
+fused chain steps (two or more convs, one kernel), layer-by-layer conv
+steps, and glue steps (residual adds, pooling, ...).  Each conv-bearing step
+carries the tile sizes and the estimated GMA that justified the decision
+(paper Fig. 5's "FCMs / LBL" output box, generalized to chains).
+
+:class:`ChainStep` is the fused step; ``FcmStep`` is kept as an alias for
+the ubiquitous pairwise case (a length-2 chain carrying its pairwise
+:class:`~repro.core.fcm.FcmType`).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec
 from ..ir.layers import ConvSpec
 
-__all__ = ["LblStep", "FcmStep", "GlueStep", "StdStep", "ExecutionPlan"]
+__all__ = ["LblStep", "ChainStep", "FcmStep", "GlueStep", "StdStep", "ExecutionPlan"]
 
 
 @dataclass(frozen=True)
@@ -34,24 +38,52 @@ class LblStep:
 
 
 @dataclass(frozen=True)
-class FcmStep:
-    """One fused module: two convolutions executed as a single kernel."""
+class ChainStep:
+    """One fused module: a chain of convolutions executed as a single kernel.
 
-    fcm_type: FcmType
-    first: ConvSpec
-    second: ConvSpec
+    Length-2 chains carry their pairwise taxonomy type in ``fcm_type`` (and
+    keep the pairwise tiling vocabulary); longer chains set it to ``None``
+    and use the chain vocabulary (``tile_h``/``tile_w``[/``tile_m``]).
+    """
+
+    specs: tuple[ConvSpec, ...]
     tiling: dict[str, int]
     est_gma_bytes: int
-    est_lbl_gma_bytes: int  # what the two layers would cost unfused
+    est_lbl_gma_bytes: int  # what the member layers would cost unfused
     redundancy_ratio: float
+    fcm_type: FcmType | None = None
+
+    @property
+    def length(self) -> int:
+        return len(self.specs)
+
+    @property
+    def first(self) -> ConvSpec:
+        return self.specs[0]
+
+    @property
+    def second(self) -> ConvSpec:
+        return self.specs[1]
 
     @property
     def layer_names(self) -> tuple[str, ...]:
-        return (self.first.name, self.second.name)
+        return tuple(s.name for s in self.specs)
+
+    @property
+    def label(self) -> str:
+        """Human-readable module label: FCM type name or the stage kinds."""
+        if self.fcm_type is not None:
+            return self.fcm_type.name
+        return "-".join(s.kind.short.upper() for s in self.specs)
 
     @property
     def est_savings_bytes(self) -> int:
         return self.est_lbl_gma_bytes - self.est_gma_bytes
+
+
+#: Pairwise alias — every existing ``isinstance(step, FcmStep)`` check now
+#: covers chains of any length.
+FcmStep = ChainStep
 
 
 @dataclass(frozen=True)
@@ -86,23 +118,38 @@ class ExecutionPlan:
 
     # ---- summaries ----------------------------------------------------------
     @property
-    def fcm_steps(self) -> list[FcmStep]:
-        return [s for s in self.steps if isinstance(s, FcmStep)]
+    def fcm_steps(self) -> list[ChainStep]:
+        """Fused steps of any length (``chain_steps`` is the modern alias)."""
+        return [s for s in self.steps if isinstance(s, ChainStep)]
+
+    @property
+    def chain_steps(self) -> list[ChainStep]:
+        return self.fcm_steps
 
     @property
     def lbl_steps(self) -> list[LblStep]:
         return [s for s in self.steps if isinstance(s, LblStep)]
 
     @property
+    def num_fused_layers(self) -> int:
+        """DW/PW conv layers executing inside a fused chain."""
+        return sum(s.length for s in self.fcm_steps)
+
+    @property
     def num_conv_layers(self) -> int:
-        """DW/PW conv layers covered by the plan (fused ones count as two)."""
-        return 2 * len(self.fcm_steps) + len(self.lbl_steps)
+        """DW/PW conv layers covered by the plan (a chain counts its stages)."""
+        return self.num_fused_layers + len(self.lbl_steps)
 
     @property
     def fused_layer_fraction(self) -> float:
         """Fraction of DW/PW layers executing inside an FCM (paper: 46-58%)."""
         n = self.num_conv_layers
-        return (2 * len(self.fcm_steps) / n) if n else 0.0
+        return (self.num_fused_layers / n) if n else 0.0
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest fused chain in the plan (0 when nothing fused)."""
+        return max((s.length for s in self.fcm_steps), default=0)
 
     @property
     def est_total_gma_bytes(self) -> int:
@@ -123,9 +170,9 @@ class ExecutionPlan:
             f"ExecutionPlan[{self.model_name} on {self.gpu.name}, {self.dtype}]:"
         ]
         for s in self.steps:
-            if isinstance(s, FcmStep):
+            if isinstance(s, ChainStep):
                 lines.append(
-                    f"  FCM {s.fcm_type.name:7s} {s.first.name}+{s.second.name} "
+                    f"  FCM {s.label:8s} {'+'.join(s.layer_names)} "
                     f"tiles={s.tiling} gma={s.est_gma_bytes}B "
                     f"(saves {s.est_savings_bytes}B, redund {s.redundancy_ratio:.1%})"
                 )

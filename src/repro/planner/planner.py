@@ -1,33 +1,39 @@
-"""FusePlanner: decide which layers to fuse and with which tile sizes.
+"""FusePlanner: decide which layers to fuse, how long the chains are, and
+which tile sizes each fused kernel uses.
 
-Paper §IV / Fig. 5: given GPU specs and a model DAG, FusePlanner (1) makes a
-first pass estimating each DW/PW layer's minimum layer-by-layer GMA (Eq. 2/3),
-(2) examines every possible fusion and evaluates its GMA (Eq. 4 family), and
-(3) suggests fusing whenever an FCM's minimum estimated GMA undercuts the sum
-of its constituents' LBL minima.
+Paper §IV / Fig. 5, generalized from pairs to chains: given GPU specs and a
+model DAG, FusePlanner (1) makes a first pass estimating each DW/PW layer's
+minimum layer-by-layer GMA (Eq. 2/3), (2) evaluates every candidate fusion —
+consecutive runs of 2..``max_chain`` layers — with the chain cost models
+(the Eq. 4 family at length 2, the compositional chain estimators beyond),
+and (3) partitions each linear run of fusable layers optimally with an
+interval dynamic program:
 
-Overlapping candidates (a PW may fuse backward with a DW or forward with the
-next conv) are resolved optimally as a maximum-weight matching on the layer
-graph with edge weights = estimated GMA savings — each conv joins at most one
-FCM.
+    ``best[i] = max over L in 1..K of best[i - L] + savings(run[i-L:i])``
+
+where length-1 "chains" are the LBL baseline (zero savings) and a longer
+chain only participates when it is feasible and strictly beats its members'
+LBL minima.  At ``max_chain=2`` the DP is exactly a maximum-weight matching
+on each run's path graph — today's pairwise plans are reproduced — while
+being fully deterministic (ties prefer the unfused/shorter split, then
+earlier layers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-import networkx as nx
-
+from ..core.chain import FusedChain
 from ..core.dtypes import DType
 from ..core.fcm import FcmType, candidate_fcm_types
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind, ConvSpec
-from .plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
-from .search import SearchResult, best_fcm_tiling, best_lbl_tiling
+from .plan import ChainStep, ExecutionPlan, GlueStep, LblStep, StdStep
+from .search import SearchResult, best_chain_tiling, best_fcm_tiling, best_lbl_tiling
 
-__all__ = ["FusePlanner", "FusionDecision"]
+__all__ = ["FusePlanner", "FusionDecision", "ChainDecision", "CandidateReport"]
 
 
 @dataclass(frozen=True)
@@ -46,18 +52,104 @@ class FusionDecision:
         return self.lbl_first.gma_bytes + self.lbl_second.gma_bytes - self.fcm.gma_bytes
 
 
-class FusePlanner:
-    """Cost-model-driven fusion and tiling planner (paper Fig. 5)."""
+@dataclass(frozen=True)
+class ChainDecision:
+    """Outcome of evaluating one candidate chain (length >= 2)."""
 
-    def __init__(self, gpu: GpuSpec, convention: str = "paper") -> None:
+    specs: tuple[ConvSpec, ...]
+    fcm_type: FcmType | None  # set for length-2 chains
+    result: SearchResult
+    lbl_gma_bytes: int  # what the member layers would cost unfused
+
+    @property
+    def length(self) -> int:
+        return len(self.specs)
+
+    @property
+    def savings_bytes(self) -> int:
+        return self.lbl_gma_bytes - self.result.gma_bytes
+
+    @property
+    def label(self) -> str:
+        if self.fcm_type is not None:
+            return self.fcm_type.name
+        return "-".join(s.kind.short.upper() for s in self.specs)
+
+    def to_step(self) -> ChainStep:
+        return ChainStep(
+            specs=self.specs,
+            tiling=self.result.tiling,
+            est_gma_bytes=self.result.gma_bytes,
+            est_lbl_gma_bytes=self.lbl_gma_bytes,
+            redundancy_ratio=self.result.redundancy_ratio,
+            fcm_type=self.fcm_type,
+        )
+
+
+@dataclass(frozen=True)
+class CandidateReport:
+    """One evaluated fusion candidate, for ``plan --explain`` dumps."""
+
+    layers: tuple[str, ...]
+    label: str  # FCM type / chain kinds, or why it was rejected
+    feasible: bool
+    gma_bytes: int  # 0 when infeasible
+    lbl_gma_bytes: int
+    savings_bytes: int
+    chosen: bool
+
+
+def _lbl_key(spec: ConvSpec) -> tuple:
+    """Cache key covering everything the LBL tiling search depends on.
+
+    Deliberately *not* just the layer name: a planner reused across models
+    (as :class:`repro.serve.cache.PlanCache` encourages) can see two layers
+    sharing a common name (``conv1``) with different shapes, strides or
+    padding — keying on the full geometry prevents a stale-tiling collision.
+    """
+    return (
+        spec.kind,
+        spec.in_channels,
+        spec.out_channels,
+        spec.in_h,
+        spec.in_w,
+        spec.kernel,
+        spec.stride,
+        spec.padding,
+        spec.dtype,
+    )
+
+
+class FusePlanner:
+    """Cost-model-driven fusion and tiling planner (paper Fig. 5).
+
+    Args:
+        gpu: target GPU spec.
+        convention: cost convention, ``"paper"`` or ``"measured"``.
+        max_chain: longest fused chain the DP may pick.  The default of 2
+            reproduces the paper's pairwise FCM plans; 3+ unlocks e.g. the
+            PW->DW->PW inverted-residual chains of MobileNetV2.
+    """
+
+    def __init__(
+        self, gpu: GpuSpec, convention: str = "paper", max_chain: int = 2
+    ) -> None:
+        if max_chain < 1:
+            raise PlanError(f"max_chain must be >= 1, got {max_chain}")
         self.gpu = gpu
         self.convention = convention
-        self._lbl_cache: dict[str, SearchResult] = {}
+        self.max_chain = max_chain
+        self._lbl_cache: dict[tuple, SearchResult] = {}
+        #: memoized chain searches by run geometry; layer names are excluded
+        #: deliberately, so lbl_gma_bytes is recomputed per actual span.
+        self._chain_cache: dict[tuple, tuple[FcmType | None, SearchResult] | None] = {}
+        #: candidate evaluations of the most recent :meth:`plan` call.
+        self.last_candidates: list[CandidateReport] = []
 
     # ---- single-layer pass ---------------------------------------------------
     def lbl_plan(self, spec: ConvSpec) -> SearchResult:
         """Minimum-GMA layer-by-layer tiling for one DW/PW layer (cached)."""
-        key = f"{spec.name}|{spec.dtype.value}|{spec.in_h}x{spec.in_w}"
+        key = _lbl_key(spec)
         if key not in self._lbl_cache:
             self._lbl_cache[key] = best_lbl_tiling(spec, self.gpu, self.convention)
         return self._lbl_cache[key]
@@ -89,6 +181,117 @@ class FusePlanner:
             lbl_second=self.lbl_plan(second),
         )
 
+    # ---- chain evaluation -------------------------------------------------------
+    def evaluate_chain(self, specs: tuple[ConvSpec, ...]) -> ChainDecision | None:
+        """Best feasible fused implementation of a consecutive layer run.
+
+        Length-2 runs go through the pairwise taxonomy (so PWDW vs PWDW_R is
+        still arbitrated exactly as before); longer runs go through the
+        chain-tiling sweep.  Returns ``None`` when no tiling is feasible, and
+        raises :class:`~repro.errors.PlanError` when a member has no feasible
+        LBL tiling either (no baseline to compare against).
+
+        The tiling search is memoized by the run's full geometry (not layer
+        names), so repeated identical blocks — ubiquitous in the zoo models —
+        are swept once.
+        """
+        lbl_total = sum(self.lbl_plan(s).gma_bytes for s in specs)
+        key = tuple(_lbl_key(s) for s in specs)
+        if key not in self._chain_cache:
+            self._chain_cache[key] = self._search_chain(specs)
+        hit = self._chain_cache[key]
+        if hit is None:
+            return None
+        fcm_type, result = hit
+        return ChainDecision(
+            specs=specs, fcm_type=fcm_type, result=result, lbl_gma_bytes=lbl_total
+        )
+
+    def _search_chain(
+        self, specs: tuple[ConvSpec, ...]
+    ) -> tuple[FcmType | None, SearchResult] | None:
+        if len(specs) == 2:
+            first, second = specs
+            types = candidate_fcm_types(first.kind.short, second.kind.short)
+            best: tuple[int, float, FcmType, SearchResult] | None = None
+            for t in types:
+                res = best_fcm_tiling(t, first, second, self.gpu, self.convention)
+                if res is None:
+                    continue
+                key = (res.gma_bytes, res.redundancy_ratio, t, res)
+                if best is None or key[:2] < best[:2]:
+                    best = key
+            if best is None:
+                return None
+            return best[2], best[3]
+        res = best_chain_tiling(FusedChain(specs), self.gpu, self.convention)
+        if res is None:
+            return None
+        return None, res
+
+    # ---- run partitioning -------------------------------------------------------
+    def _partition_run(
+        self, specs: list[ConvSpec]
+    ) -> tuple[list[ChainDecision], list[CandidateReport]]:
+        """Optimal partition of one linear run into chains of length 1..K.
+
+        Interval DP maximizing total estimated GMA savings over the run; a
+        candidate chain participates only when feasible with positive
+        savings.  Ties deterministically prefer the shorter (less fused)
+        split, then earlier layers.
+        """
+        n = len(specs)
+        best = [0] * (n + 1)
+        choice = [1] * (n + 1)
+        picked: dict[tuple[int, int], ChainDecision] = {}
+        reports: list[CandidateReport] = []
+        for i in range(1, n + 1):
+            best[i] = best[i - 1]
+            choice[i] = 1
+            for length in range(2, min(self.max_chain, i) + 1):
+                span = tuple(specs[i - length : i])
+                try:
+                    dec = self.evaluate_chain(span)
+                    lbl = (
+                        dec.lbl_gma_bytes
+                        if dec is not None
+                        else sum(self.lbl_plan(s).gma_bytes for s in span)
+                    )
+                except PlanError:
+                    dec, lbl = None, 0  # no feasible LBL baseline either
+                reports.append(
+                    CandidateReport(
+                        layers=tuple(s.name for s in span),
+                        label=dec.label if dec is not None else "infeasible",
+                        feasible=dec is not None,
+                        gma_bytes=dec.result.gma_bytes if dec is not None else 0,
+                        lbl_gma_bytes=lbl,
+                        savings_bytes=dec.savings_bytes if dec is not None else 0,
+                        chosen=False,
+                    )
+                )
+                if dec is None or dec.savings_bytes <= 0:
+                    continue
+                picked[(i - length, i)] = dec
+                total = best[i - length] + dec.savings_bytes
+                if total > best[i]:
+                    best[i] = total
+                    choice[i] = length
+        chosen: list[ChainDecision] = []
+        i = n
+        while i > 0:
+            length = choice[i]
+            if length > 1:
+                chosen.append(picked[(i - length, i)])
+            i -= length
+        chosen.reverse()
+        chosen_layers = {tuple(s.name for s in d.specs) for d in chosen}
+        reports = [
+            r if r.layers not in chosen_layers else replace(r, chosen=True)
+            for r in reports
+        ]
+        return chosen, reports
+
     # ---- whole-model pass ------------------------------------------------------
     def plan(self, graph: ModelGraph, dtype: DType | None = None) -> ExecutionPlan:
         """Produce the execution plan for a model DAG.
@@ -100,56 +303,32 @@ class FusePlanner:
         graph.validate()
         retype = (lambda s: s.with_dtype(dtype)) if dtype is not None else (lambda s: s)
 
-        # Pass 1+2: evaluate every fusion candidate.
-        decisions: list[FusionDecision] = []
-        for cand in graph.fusion_candidates():
-            first, second = retype(cand.first), retype(cand.second)
-            try:
-                dec = self.evaluate_pair(first, second)
-            except PlanError:
-                continue  # a constituent has no feasible LBL tiling either
-            if dec is not None and dec.savings_bytes > 0:
-                decisions.append(dec)
-
-        # Pass 3: optimal non-overlapping selection via max-weight matching.
-        m = nx.Graph()
-        for i, dec in enumerate(decisions):
-            m.add_edge(dec.first.name, dec.second.name, weight=dec.savings_bytes, idx=i)
-        chosen_pairs = nx.max_weight_matching(m, maxcardinality=False)
-        chosen: dict[str, FusionDecision] = {}
-        for u, v in chosen_pairs:
-            idx = m.edges[u, v]["idx"]
-            dec = decisions[idx]
-            chosen[dec.first.name] = dec
+        # Pass 1+2: evaluate candidates and partition every fusable run.
+        chosen: dict[str, ChainDecision] = {}
+        consumed: set[str] = set()
+        self.last_candidates = []
+        for run in graph.fusion_runs():
+            decisions, reports = self._partition_run([retype(s) for s in run])
+            self.last_candidates.extend(reports)
+            for dec in decisions:
+                chosen[dec.specs[0].name] = dec
+                consumed.update(s.name for s in dec.specs[1:])
 
         plan = ExecutionPlan(
             model_name=graph.name,
             gpu=self.gpu,
             dtype=dtype if dtype is not None else _graph_dtype(graph),
         )
-        fused_seconds = {d.second.name for d in chosen.values()}
         for spec in graph.topological():
             if isinstance(spec, GlueSpec):
                 plan.steps.append(GlueStep(spec))
                 continue
             spec = retype(spec)
             if spec.name in chosen:
-                dec = chosen[spec.name]
-                plan.steps.append(
-                    FcmStep(
-                        fcm_type=dec.fcm_type,
-                        first=dec.first,
-                        second=dec.second,
-                        tiling=dec.fcm.tiling,
-                        est_gma_bytes=dec.fcm.gma_bytes,
-                        est_lbl_gma_bytes=dec.lbl_first.gma_bytes
-                        + dec.lbl_second.gma_bytes,
-                        redundancy_ratio=dec.fcm.redundancy_ratio,
-                    )
-                )
+                plan.steps.append(chosen[spec.name].to_step())
                 continue
-            if spec.name in fused_seconds:
-                continue  # consumed by its producer's FCM step
+            if spec.name in consumed:
+                continue  # executed inside its producer's chain step
             if spec.kind is ConvKind.STANDARD:
                 plan.steps.append(StdStep(spec))
                 continue

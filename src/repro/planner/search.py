@@ -16,15 +16,17 @@ from dataclasses import dataclass
 from math import prod
 from typing import Iterable, Mapping
 
+from ..core.chain import FusedChain
 from ..core.fcm import FcmType
 from ..core.tiling import DwTiling, PwTiling
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind, ConvSpec
+from .chain_costs import chain_feasible, chain_gma
 from .costs import dw_feasible, dw_gma, pw_feasible, pw_gma
 from .fcm_costs import FcmCost, fcm_feasible, fcm_gma
 
-__all__ = ["SearchResult", "best_lbl_tiling", "best_fcm_tiling"]
+__all__ = ["SearchResult", "best_lbl_tiling", "best_fcm_tiling", "best_chain_tiling"]
 
 
 @dataclass(frozen=True)
@@ -149,6 +151,51 @@ def best_fcm_tiling(
         if not fcm_feasible(fcm_type, first, second, tiling, gpu):
             continue
         cost: FcmCost = fcm_gma(fcm_type, first, second, tiling, convention)
+        scored.append(
+            (
+                _rank_key(tiling, cost.gma.total_bytes, gpu.warp_size),
+                dict(tiling),
+                cost.redundancy_ratio,
+            )
+        )
+    win = _best(scored)
+    if win is None:
+        return None
+    return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])
+
+
+def _chain_tiling_candidates(chain: FusedChain) -> list[dict[str, int]]:
+    last = chain.last
+    spatial = [
+        {"tile_h": th, "tile_w": tw}
+        for th in _pow2_upto(last.out_h)
+        for tw in _pow2_upto(last.out_w)
+    ]
+    if last.kind is not ConvKind.POINTWISE:
+        return spatial
+    return [
+        {**d, "tile_m": tm}
+        for d in spatial
+        for tm in _pow2_upto(last.out_channels)
+    ]
+
+
+def best_chain_tiling(
+    chain: FusedChain, gpu: GpuSpec, convention: str = "paper"
+) -> SearchResult | None:
+    """Minimize the N-stage chain estimator over the feasible tile grid.
+
+    Same sweep discipline as the pairwise search — powers of two per tile
+    axis, warp-multiple thread blocks preferred, minimum GMA, then larger
+    tiles — applied to the chain vocabulary (``tile_h``/``tile_w`` on the
+    final output plus ``tile_m`` when the last stage is pointwise).
+    Returns ``None`` when no tiling satisfies the chained constraints.
+    """
+    scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
+    for tiling in _chain_tiling_candidates(chain):
+        if not chain_feasible(chain, tiling, gpu):
+            continue
+        cost: FcmCost = chain_gma(chain, tiling, convention)
         scored.append(
             (
                 _rank_key(tiling, cost.gma.total_bytes, gpu.warp_size),

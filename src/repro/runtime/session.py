@@ -31,8 +31,8 @@ from ..gpu.roofline import KernelTiming, time_kernel
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind
-from ..kernels.registry import build_fcm_kernel, build_lbl_kernel
-from ..planner.analytic import fcm_counters, lbl_counters
+from ..kernels.registry import build_chain_kernel, build_lbl_kernel
+from ..planner.analytic import chain_counters, lbl_counters
 from ..planner.plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
 from .glue import apply_glue, glue_counters
 from .network_params import NetworkParams, materialize_network
@@ -162,14 +162,13 @@ class InferenceSession:
 
         for step in self.plan.steps:
             if isinstance(step, FcmStep):
-                kernel = build_fcm_kernel(
-                    step.fcm_type,
-                    self.params[step.first.name],
-                    self.params[step.second.name],
+                kernel = build_chain_kernel(
+                    [self.params[sp.name] for sp in step.specs],
                     step.tiling,
+                    step.fcm_type,
                 )
-                res = kernel.simulate(input_of(step.first.name), self.gpu)
-                values[step.second.name] = res.output
+                res = kernel.simulate(input_of(step.specs[0].name), self.gpu)
+                values[step.specs[-1].name] = res.output
                 report.records.append(
                     _record(
                         "+".join(step.layer_names), "fcm", res.counters, self.gpu,
@@ -241,14 +240,13 @@ class InferenceSession:
 
         for step in self.plan.steps:
             if isinstance(step, FcmStep):
-                kernel = build_fcm_kernel(
-                    step.fcm_type,
-                    self.params[step.first.name],
-                    self.params[step.second.name],
+                kernel = build_chain_kernel(
+                    [self.params[sp.name] for sp in step.specs],
                     step.tiling,
+                    step.fcm_type,
                 )
-                res = kernel.simulate_batch(input_of(step.first.name), self.gpu)
-                values[step.second.name] = res.output
+                res = kernel.simulate_batch(input_of(step.specs[0].name), self.gpu)
+                values[step.specs[-1].name] = res.output
                 report.records.append(
                     _record(
                         "+".join(step.layer_names), "fcm", res.counters, self.gpu,
@@ -313,11 +311,11 @@ class InferenceSession:
         )
         for step in self.plan.steps:
             if isinstance(step, FcmStep):
-                counters = fcm_counters(
-                    step.fcm_type, step.first, step.second, step.tiling
+                counters = chain_counters(
+                    step.specs, step.tiling, step.fcm_type
                 ).batched(
                     batch_size,
-                    step.first.weights_bytes + step.second.weights_bytes,
+                    sum(sp.weights_bytes for sp in step.specs),
                 )
                 report.records.append(
                     _record("+".join(step.layer_names), "fcm", counters,
@@ -355,9 +353,7 @@ class InferenceSession:
         report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
         for step in self.plan.steps:
             if isinstance(step, FcmStep):
-                counters = fcm_counters(
-                    step.fcm_type, step.first, step.second, step.tiling
-                )
+                counters = chain_counters(step.specs, step.tiling, step.fcm_type)
                 report.records.append(
                     _record("+".join(step.layer_names), "fcm", counters,
                             self.gpu, self.dtype)

@@ -33,16 +33,31 @@ __all__ = ["PlanKey", "CachedPlan", "CacheStats", "PlanCache"]
 class PlanKey:
     """Identity of one memoized plan: everything FusePlanner's output
     depends on (and nothing it doesn't — request batch size is *not* part
-    of the key; one plan serves every batch size)."""
+    of the key; one plan serves every batch size).  ``max_chain`` is part
+    of the identity because the DP emits different plans per chain cap."""
 
     model: str
     dtype: str
     gpu: str
     convention: str
+    max_chain: int = 2
 
     @classmethod
-    def of(cls, model: str, dtype: DType, gpu: GpuSpec, convention: str) -> "PlanKey":
-        return cls(model=model, dtype=dtype.value, gpu=gpu.name, convention=convention)
+    def of(
+        cls,
+        model: str,
+        dtype: DType,
+        gpu: GpuSpec,
+        convention: str,
+        max_chain: int = 2,
+    ) -> "PlanKey":
+        return cls(
+            model=model,
+            dtype=dtype.value,
+            gpu=gpu.name,
+            convention=convention,
+            max_chain=max_chain,
+        )
 
 
 @dataclass
@@ -117,16 +132,17 @@ class PlanCache:
         dtype: DType,
         gpu: GpuSpec,
         convention: str = "paper",
+        max_chain: int = 2,
     ) -> CachedPlan:
         """Return the memoized plan, building (and possibly evicting) on miss."""
-        key = PlanKey.of(model, dtype, gpu, convention)
+        key = PlanKey.of(model, dtype, gpu, convention, max_chain)
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
-        entry = self._build(key, model, dtype, gpu, convention)
+        entry = self._build(key, model, dtype, gpu, convention, max_chain)
         self._entries[key] = entry
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
@@ -134,11 +150,17 @@ class PlanCache:
         return entry
 
     def _build(
-        self, key: PlanKey, model: str, dtype: DType, gpu: GpuSpec, convention: str
+        self,
+        key: PlanKey,
+        model: str,
+        dtype: DType,
+        gpu: GpuSpec,
+        convention: str,
+        max_chain: int,
     ) -> CachedPlan:
         graph = build_model(model, dtype)
         self.stats.planner_invocations += 1
-        plan = FusePlanner(gpu, convention).plan(graph)
+        plan = FusePlanner(gpu, convention, max_chain=max_chain).plan(graph)
         params = materialize_network(graph, dtype, self.seed)
         session = InferenceSession(graph, plan, params)
         return CachedPlan(key=key, graph=graph, plan=plan, params=params, session=session)

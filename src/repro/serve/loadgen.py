@@ -98,6 +98,7 @@ def replay(
     max_batch: int = 8,
     max_delay_s: float = 2e-3,
     poisson: bool = False,
+    max_chain: int = 2,
     seed: int = 0,
     server: ModelServer | None = None,
 ) -> StreamReport:
@@ -114,6 +115,7 @@ def replay(
             gpu,
             max_batch=max_batch,
             max_delay_s=max_delay_s,
+            max_chain=max_chain,
             clock=clock,
             sleep=clock.sleep,
         )

@@ -93,6 +93,7 @@ class ModelServer:
         max_delay_s: float = 2e-3,
         cache_capacity: int = 8,
         convention: str = "paper",
+        max_chain: int = 2,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
@@ -105,6 +106,9 @@ class ModelServer:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.convention = convention
+        if max_chain < 1:
+            raise PlanError(f"max_chain must be >= 1, got {max_chain}")
+        self.max_chain = max_chain
         self.cache = PlanCache(capacity=cache_capacity, seed=seed)
         self.clock = clock
         self.sleep = sleep
@@ -123,7 +127,9 @@ class ModelServer:
             inputs = inputs[None]
         if inputs.ndim != 4:
             raise ShapeError(f"submit expects (N, C, H, W), got {inputs.shape}")
-        cached = self.cache.get(model, dtype, self.gpu, self.convention)
+        cached = self.cache.get(
+            model, dtype, self.gpu, self.convention, self.max_chain
+        )
         report = cached.session.run_batch(inputs)
         self._account(report)
         self.stats.requests += inputs.shape[0]
@@ -133,7 +139,9 @@ class ModelServer:
         self, model: str, batch_size: int = 1, dtype: DType = DType.FP32
     ) -> SessionReport:
         """Price one batched pass (counters only, memoized per batch size)."""
-        cached = self.cache.get(model, dtype, self.gpu, self.convention)
+        cached = self.cache.get(
+            model, dtype, self.gpu, self.convention, self.max_chain
+        )
         report = cached.analytic_report(batch_size)
         self._account(report)
         self.stats.requests += batch_size
@@ -216,7 +224,9 @@ class ModelServer:
     ) -> list[InferenceResult]:
         batch = [queue.popleft() for _ in range(count)]
         first = batch[0]
-        cached = self.cache.get(first.model, first.dtype, self.gpu, self.convention)
+        cached = self.cache.get(
+            first.model, first.dtype, self.gpu, self.convention, self.max_chain
+        )
         if all(r.input is not None for r in batch):
             report = cached.session.run_batch(np.stack([r.input for r in batch]))
         else:
