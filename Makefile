@@ -8,10 +8,13 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-## quick serving + one-figure artifact pass (no full fig10 sweep)
+## quick serving + fleet + one-figure artifact pass (no full fig10 sweep);
+## emits BENCH_smoke.json so the bench trajectory accumulates in CI artifacts
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py \
-	    benchmarks/bench_table2_fusion_cases.py --benchmark-only -q -s
+	    benchmarks/bench_table2_fusion_cases.py \
+	    benchmarks/bench_fleet_scaling.py --smoke \
+	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 
 ## every paper artifact + the serving sweep (slow)
 bench:

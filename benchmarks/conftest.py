@@ -11,6 +11,21 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="shrink benchmark workloads for the fast `make bench-smoke` pass",
+    )
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when the run should use the reduced smoke workload."""
+    return bool(request.config.getoption("--smoke"))
+
+
 def run_once(benchmark, fn):
     """Benchmark a harness with a single measured round (they are pure
     analytic sweeps — variance comes from the work, not the clock)."""

@@ -3,7 +3,8 @@
 Every subcommand maps onto one public subsystem: the artifact commands
 (``table2``/``fig6``/``fig10``) drive :mod:`repro.experiments`, ``plan``
 drives :mod:`repro.planner`, ``gpus`` prints :mod:`repro.gpu` presets, and
-the serving commands (``serve``/``bench-serve``) drive :mod:`repro.serve`.
+the serving commands (``serve``/``bench-serve``/``fleet``) drive
+:mod:`repro.serve`.
 
 Usage:
     python -m repro.cli table2 --dtype int8
@@ -12,6 +13,7 @@ Usage:
     python -m repro.cli plan mobilenet_v2 --gpu RTX --dtype int8
     python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000
     python -m repro.cli bench-serve --models mobilenet_v2,xception
+    python -m repro.cli fleet --gpus GTX,RTX,Orin --models mobilenet_v2,xception
     python -m repro.cli gpus
 """
 
@@ -135,49 +137,122 @@ def _cmd_chains(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    from .serve.loadgen import replay
+def _fleet_gpus(spec: str) -> list:
+    """Parse a ``--gpus`` comma list into GpuSpec presets (repeats allowed)."""
+    return [gpu_by_name(name) for name in spec.split(",") if name]
 
-    report = replay(
-        gpu_by_name(args.gpu),
-        args.model,
-        n_requests=args.requests,
-        rate_rps=args.rate,
-        dtype=_dtype(args.dtype),
-        max_batch=args.max_batch,
-        max_delay_s=args.max_delay_ms * 1e-3,
-        poisson=args.poisson,
-        max_chain=args.max_chain,
-    )
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.loadgen import fleet_replay, replay
+
+    if args.gpus:
+        report = fleet_replay(
+            _fleet_gpus(args.gpus),
+            args.model,
+            n_requests=args.requests,
+            rate_rps=args.rate,
+            dtype=_dtype(args.dtype),
+            policy=args.policy,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms * 1e-3,
+            poisson=args.poisson,
+            max_chain=args.max_chain,
+        )
+    else:
+        report = replay(
+            gpu_by_name(args.gpu),
+            args.model,
+            n_requests=args.requests,
+            rate_rps=args.rate,
+            dtype=_dtype(args.dtype),
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms * 1e-3,
+            poisson=args.poisson,
+            max_chain=args.max_chain,
+        )
     print(report.describe())
     return 0
 
 
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     from .experiments.reporting import format_table
+    from .serve.fleet import Fleet
+    from .serve.loadgen import FakeClock
     from .serve.server import ModelServer
 
-    server = ModelServer(gpu_by_name(args.gpu), max_chain=args.max_chain)
+    dtype = _dtype(args.dtype)
     batches = [int(b) for b in args.batches.split(",")]
+    if args.gpus:
+        # A FakeClock keeps the sweep deterministic: simulated occupancy
+        # accumulates across submits instead of decaying in real time, so
+        # routing sees which worker is actually loaded.
+        clock = FakeClock()
+        fleet = Fleet(
+            _fleet_gpus(args.gpus), max_chain=args.max_chain,
+            clock=clock, sleep=clock.sleep,
+        )
+    else:
+        fleet = None
+    server = None if fleet else ModelServer(gpu_by_name(args.gpu), max_chain=args.max_chain)
     rows = []
     for model in args.models.split(","):
-        base = None
+        # Baseline per worker: in a heterogeneous fleet a later batch size
+        # may spill to a different GPU, and the speedup column must measure
+        # batching amortization, not device speed.
+        base: dict[str, float] = {}
         for b in batches:
-            rep = server.submit_analytic(model, b, _dtype(args.dtype))
-            if base is None:
-                base = rep.throughput_img_s
+            if fleet is not None:
+                worker, rep = fleet.submit_analytic(model, b, dtype)
+                where = worker.name
+            else:
+                rep = server.submit_analytic(model, b, dtype)
+                where = server.gpu.name
+            base.setdefault(where, rep.throughput_img_s)
             rows.append([
-                model, b, f"{rep.throughput_img_s:.0f}",
+                model, where, b, f"{rep.throughput_img_s:.0f}",
                 f"{rep.latency_per_image_s * 1e3:.4f}",
                 f"{rep.energy_per_image_j * 1e3:.3f}",
-                f"{rep.throughput_img_s / base:.2f}x",
+                f"{rep.throughput_img_s / base[where]:.2f}x",
             ])
     print(format_table(
-        ["model", "batch", "img/s", "ms/img", "mJ/img", f"vs b={batches[0]}"], rows
+        ["model", "worker", "batch", "img/s", "ms/img", "mJ/img",
+         f"vs b={batches[0]}"],
+        rows,
     ))
-    stats = server.cache.stats
-    print(f"planner invocations: {stats.planner_invocations} "
-          f"(cache hits {stats.hits}, misses {stats.misses})")
+    if fleet is not None:
+        stats = fleet.stats()
+        print(f"planner invocations: {stats.planner_invocations} "
+              f"(fleet hit rate {stats.plan_hit_rate:.0%}, "
+              f"hits {stats.plan_hits}, misses {stats.plan_misses})")
+    else:
+        stats = server.cache.stats
+        print(f"planner invocations: {stats.planner_invocations} "
+              f"(cache hits {stats.hits}, misses {stats.misses})")
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .serve.loadgen import fleet_replay
+
+    report = fleet_replay(
+        _fleet_gpus(args.gpus),
+        args.models.split(","),
+        n_requests=args.requests,
+        rate_rps=args.rate,
+        dtype=_dtype(args.dtype),
+        policy=args.policy,
+        spill_factor=args.spill_factor,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms * 1e-3,
+        poisson=args.poisson,
+        max_chain=args.max_chain,
+        trace=args.explain,
+    )
+    print(report.describe())
+    if args.explain and report.routing_trace:
+        print("\nrouting trace (one line per request):")
+        for decision in report.routing_trace:
+            print(f"  {decision.describe()}")
     return 0
 
 
@@ -214,12 +289,21 @@ _EPILOGS: dict[str, str] = {
     "serve": (
         "examples:\n"
         "  python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000\n"
-        "  python -m repro.cli serve xception --max-batch 16 --poisson"
+        "  python -m repro.cli serve xception --max-batch 16 --poisson\n"
+        "  python -m repro.cli serve mobilenet_v2 --gpus RTX,RTX,Orin  # fleet replay"
     ),
     "bench-serve": (
         "examples:\n"
         "  python -m repro.cli bench-serve\n"
-        "  python -m repro.cli bench-serve --models mobilenet_v2 --batches 1,4,16"
+        "  python -m repro.cli bench-serve --models mobilenet_v2 --batches 1,4,16\n"
+        "  python -m repro.cli bench-serve --gpus GTX,RTX  # routed through a fleet"
+    ),
+    "fleet": (
+        "examples:\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX,RTX,RTX --models mobilenet_v2\n"
+        "  python -m repro.cli fleet --gpus GTX,RTX,Orin "
+        "--models mobilenet_v2,xception --explain\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX --policy round_robin --poisson"
     ),
 }
 
@@ -287,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Poisson arrivals instead of uniform spacing")
     p.add_argument("--max-chain", type=int, default=2,
                    help="planner chain cap for served models (default 2)")
+    p.add_argument("--gpus", default="",
+                   help="comma-separated GPU presets (repeats allowed); when "
+                        "given, replay through a multi-GPU fleet instead of "
+                        "one server")
+    p.add_argument("--policy", choices=["affinity", "round_robin"],
+                   default="affinity",
+                   help="fleet routing policy (with --gpus; default affinity)")
 
     p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
                  "sweep batch size x model and report serving throughput")
@@ -295,9 +386,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", default="1,2,4,8",
                    help="comma-separated batch sizes (default 1,2,4,8)")
     p.add_argument("--gpu", default="RTX")
+    p.add_argument("--gpus", default="",
+                   help="comma-separated GPU presets; when given, each "
+                        "submit routes through a plan-affinity fleet")
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
     p.add_argument("--max-chain", type=int, default=2,
                    help="planner chain cap for served models (default 2)")
+
+    p = _add_cmd(sub, "fleet", _cmd_fleet,
+                 "replay a multi-model stream over a multi-GPU fleet")
+    p.add_argument("--gpus", default="RTX,RTX,Orin",
+                   help="comma-separated GPU presets, one worker each "
+                        "(repeats allowed; default RTX,RTX,Orin)")
+    p.add_argument("--models", default="mobilenet_v2,xception",
+                   help="comma-separated models; request i targets model "
+                        "i mod len(models)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of requests to replay (default 64)")
+    p.add_argument("--rate", type=float, default=5000.0,
+                   help="arrival rate in requests/s (default 5000)")
+    p.add_argument("--policy", choices=["affinity", "round_robin"],
+                   default="affinity",
+                   help="routing policy (default affinity)")
+    p.add_argument("--spill-factor", type=float, default=2.0,
+                   help="full micro-batches of backlog imbalance tolerated "
+                        "before affinity replicates a plan (default 2.0)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="per-worker micro-batch size cap (default 8)")
+    p.add_argument("--max-delay-ms", type=float, default=2.0,
+                   help="micro-batch deadline in ms (default 2.0)")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--poisson", action="store_true",
+                   help="Poisson arrivals instead of uniform spacing")
+    p.add_argument("--max-chain", type=int, default=2,
+                   help="planner chain cap for served models (default 2)")
+    p.add_argument("--explain", action="store_true",
+                   help="print the scheduler's per-request routing trace "
+                        "(chosen worker, reason, backlog estimates)")
     return parser
 
 

@@ -8,12 +8,31 @@ session -> report) into a request-serving layer:
 * :mod:`repro.serve.server` — :class:`ModelServer` with synchronous batched
   submits and a micro-batching request queue (flush on ``max_batch`` or
   deadline);
+* :mod:`repro.serve.fleet` — multi-GPU :class:`Fleet` of per-GPU workers
+  behind a :class:`FleetScheduler` (plan-affinity or round-robin routing);
 * :mod:`repro.serve.loadgen` — deterministic arrival streams and the
-  discrete-event :func:`replay` harness reporting img/s and p50/p99 latency.
+  discrete-event :func:`replay` / :func:`fleet_replay` harnesses reporting
+  img/s and nearest-rank p50/p99 latency.
 """
 
 from .cache import CachedPlan, CacheStats, PlanCache, PlanKey
-from .loadgen import FakeClock, StreamReport, arrival_times, replay
+from .fleet import (
+    Fleet,
+    FleetScheduler,
+    FleetStats,
+    FleetWorker,
+    RouteDecision,
+    WorkerStats,
+)
+from .loadgen import (
+    FakeClock,
+    FleetStreamReport,
+    StreamReport,
+    arrival_times,
+    fleet_replay,
+    percentile,
+    replay,
+)
 from .server import InferenceRequest, InferenceResult, ModelServer, ServerStats
 
 __all__ = [
@@ -21,9 +40,18 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "PlanKey",
+    "Fleet",
+    "FleetScheduler",
+    "FleetStats",
+    "FleetWorker",
+    "RouteDecision",
+    "WorkerStats",
     "FakeClock",
+    "FleetStreamReport",
     "StreamReport",
     "arrival_times",
+    "fleet_replay",
+    "percentile",
     "replay",
     "InferenceRequest",
     "InferenceResult",

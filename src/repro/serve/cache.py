@@ -126,6 +126,12 @@ class PlanCache:
         """Resident keys, least recently used first."""
         return list(self._entries)
 
+    def peek(self, key: PlanKey) -> CachedPlan | None:
+        """Return the resident entry for ``key`` without touching hit/miss
+        stats or LRU recency — the fleet scheduler's routing probe must not
+        perturb the accounting it is making decisions from."""
+        return self._entries.get(key)
+
     def get(
         self,
         model: str,

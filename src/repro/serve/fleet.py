@@ -1,0 +1,376 @@
+"""Multi-GPU serving fleet: per-GPU workers, plan-affinity routing.
+
+The paper's central observation is that the best fusion/tiling choice is
+*per-GPU*: the same DW+PW pair wants different FCM variants and tile shapes
+on each evaluated device (PAPER.md §V).  A fleet therefore keeps one
+:class:`~repro.serve.server.ModelServer` per GPU — its own
+:class:`~repro.serve.cache.PlanCache`, its own micro-batch queues, its own
+:class:`~repro.gpu.specs.GpuSpec` — so heterogeneous mixes (one desktop +
+two embedded boards) are first-class: every worker plans for *its* silicon.
+
+Routing is where plans meet load.  :class:`FleetScheduler` implements two
+policies:
+
+* ``"affinity"`` (default) — prefer workers whose plan cache already holds
+  the routed ``(model, dtype, gpu, convention, max_chain)`` plan, breaking
+  ties by least estimated backlog (device occupancy plus the analytic cost
+  of every queued request).  When the best plan-holder is overloaded — its
+  backlog exceeds the best non-holder's by more than ``spill_factor`` full
+  micro-batches of the routed model — the request *spills* to the non-holder,
+  which plans the model and joins the holder set.  Affinity maximizes plan
+  reuse; spilling keeps a hot model from pinning the whole stream to one GPU.
+* ``"round_robin"`` — the classic baseline: workers in rotation, no cache or
+  load awareness.  Kept as the comparison point the affinity tests beat.
+
+Backlog estimation only *peeks* at plan caches (:meth:`PlanCache.peek`), so
+routing never perturbs the hit/miss accounting it is driven by.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.dtypes import DType
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from ..runtime.session import SessionReport
+from .cache import PlanKey
+from .server import InferenceResult, ModelServer
+
+__all__ = [
+    "RouteDecision",
+    "FleetWorker",
+    "FleetScheduler",
+    "WorkerStats",
+    "FleetStats",
+    "Fleet",
+]
+
+POLICIES = ("affinity", "round_robin")
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One routing trace entry (``fleet --explain`` renders these)."""
+
+    seq: int
+    model: str
+    dtype: str
+    worker: str
+    policy: str
+    affinity_hit: bool  # a plan-holding worker was chosen
+    spilled: bool  # affinity overruled: best holder was overloaded
+    backlog_s: dict[str, float]  # per-worker estimate at decision time
+
+    def describe(self) -> str:
+        reason = (
+            "round-robin" if self.policy == "round_robin"
+            else "spill (holder overloaded)" if self.spilled
+            else "plan affinity" if self.affinity_hit
+            else "no holder; least backlog"
+        )
+        backlogs = ", ".join(
+            f"{name}={est * 1e6:.1f}us" for name, est in self.backlog_s.items()
+        )
+        return (
+            f"#{self.seq} {self.model} -> {self.worker} [{reason}]"
+            + (f"  backlog: {backlogs}" if backlogs else "")
+        )
+
+
+class FleetWorker:
+    """One fleet member: a per-GPU :class:`ModelServer` plus the device
+    occupancy timeline the discrete-event replay advances."""
+
+    def __init__(self, worker_id: int, gpu: GpuSpec, server: ModelServer) -> None:
+        self.worker_id = worker_id
+        self.gpu = gpu
+        self.server = server
+        #: worker names stay unique in homogeneous fleets ("RTX#0", "RTX#1").
+        self.name = f"{gpu.name}#{worker_id}"
+        #: simulated instant until which the device is executing already
+        #: flushed batches (maintained by loadgen.fleet_replay).
+        self.busy_until = 0.0
+        #: cumulative simulated execution time (utilization reporting).
+        self.busy_s = 0.0
+
+    def plan_key(self, model: str, dtype: DType) -> PlanKey:
+        return PlanKey.of(
+            model, dtype, self.gpu, self.server.convention, self.server.max_chain
+        )
+
+    def holds_plan(self, model: str, dtype: DType) -> bool:
+        """Does this worker's cache already hold the routed plan?"""
+        return self.server.cache.peek(self.plan_key(model, dtype)) is not None
+
+    def per_request_cost_s(self, model: str, dtype: DType) -> float | None:
+        """Single-image analytic latency of the resident plan, or None."""
+        entry = self.server.cache.peek(self.plan_key(model, dtype))
+        return None if entry is None else entry.analytic_report(1).latency_s
+
+    def occupancy_s(self, now: float) -> float:
+        """Remaining device-busy time at instant ``now``."""
+        return max(0.0, self.busy_until - now)
+
+    def estimated_backlog_s(self, now: float) -> float:
+        """Occupancy plus the analytic cost of every queued request."""
+        return self.occupancy_s(now) + self.server.estimated_queue_cost_s()
+
+
+class FleetScheduler:
+    """Routes requests to workers; records a trace when asked to."""
+
+    def __init__(
+        self,
+        workers: Sequence[FleetWorker],
+        policy: str = "affinity",
+        *,
+        spill_factor: float = 2.0,
+        trace: bool = False,
+    ) -> None:
+        if policy not in POLICIES:
+            raise PlanError(f"unknown policy {policy!r}; choose from {POLICIES}")
+        if not workers:
+            raise PlanError("a fleet needs at least one worker")
+        if spill_factor < 0:
+            raise PlanError(f"spill_factor must be >= 0, got {spill_factor}")
+        self.workers = list(workers)
+        self.policy = policy
+        self.spill_factor = spill_factor
+        self.trace: list[RouteDecision] | None = [] if trace else None
+        self._rr = 0
+        self._seq = 0
+
+    def route(self, model: str, dtype: DType, now: float) -> FleetWorker:
+        """Pick the worker for one request (see module docstring)."""
+        affinity_hit = spilled = False
+        backlogs: dict[str, float] = {}
+        if self.policy == "round_robin":
+            worker = self.workers[self._rr % len(self.workers)]
+            self._rr += 1
+        else:
+            backlogs = {w.name: w.estimated_backlog_s(now) for w in self.workers}
+
+            def load(w: FleetWorker) -> tuple[float, int]:
+                return (backlogs[w.name], w.worker_id)  # deterministic ties
+
+            holders = [w for w in self.workers if w.holds_plan(model, dtype)]
+            others = [w for w in self.workers if not w.holds_plan(model, dtype)]
+            if not holders:
+                worker = min(others, key=load)
+            else:
+                worker = min(holders, key=load)
+                affinity_hit = True
+                if others:
+                    best_other = min(others, key=load)
+                    # Tolerate spill_factor full micro-batches of imbalance
+                    # before replicating the plan onto a fresh worker.
+                    per = worker.per_request_cost_s(model, dtype) or 0.0
+                    threshold = self.spill_factor * worker.server.max_batch * per
+                    gap = backlogs[worker.name] - backlogs[best_other.name]
+                    if gap > threshold:
+                        worker = best_other
+                        affinity_hit, spilled = False, True
+        if self.trace is not None:
+            self.trace.append(
+                RouteDecision(
+                    seq=self._seq,
+                    model=model,
+                    dtype=dtype.value,
+                    worker=worker.name,
+                    policy=self.policy,
+                    affinity_hit=affinity_hit,
+                    spilled=spilled,
+                    backlog_s=backlogs,
+                )
+            )
+        self._seq += 1
+        return worker
+
+
+@dataclass(frozen=True)
+class WorkerStats:
+    """Per-worker slice of a fleet's aggregate accounting."""
+
+    worker: str
+    gpu: str
+    requests: int
+    images_served: int
+    batches: int
+    mean_batch: float
+    busy_s: float
+    plan_hits: int
+    plan_misses: int
+    evictions: int
+    planner_invocations: int
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Fleet-wide accounting with the per-worker breakdown riding along."""
+
+    requests: int
+    images_served: int
+    batches: int
+    plan_hits: int
+    plan_misses: int
+    evictions: int
+    planner_invocations: int
+    per_worker: tuple[WorkerStats, ...] = field(default_factory=tuple)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.images_served / self.batches if self.batches else 0.0
+
+    @property
+    def plan_hit_rate(self) -> float:
+        lookups = self.plan_hits + self.plan_misses
+        return self.plan_hits / lookups if lookups else 0.0
+
+
+class Fleet:
+    """A set of per-GPU workers behind one scheduler.
+
+    ``gpus`` may repeat (homogeneous scale-out) or mix presets
+    (heterogeneous, e.g. ``[RTX_A4000, ORIN, ORIN]``); every worker gets its
+    own :class:`ModelServer` sharing the fleet's clock.  The queued path
+    mirrors the single-server API (``enqueue`` / ``step`` / ``pending`` /
+    ``next_deadline``) so :func:`repro.serve.loadgen.fleet_replay` can drive
+    it with the same discrete-event loop, and ``submit_analytic`` gives the
+    synchronous routed path the CLI batch sweeps use.
+    """
+
+    def __init__(
+        self,
+        gpus: Sequence[GpuSpec],
+        *,
+        policy: str = "affinity",
+        spill_factor: float = 2.0,
+        trace: bool = False,
+        max_batch: int = 8,
+        max_delay_s: float = 2e-3,
+        cache_capacity: int = 8,
+        convention: str = "paper",
+        max_chain: int = 2,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not gpus:
+            raise PlanError("a fleet needs at least one GPU")
+        self.clock = clock
+        self.workers = [
+            FleetWorker(
+                i,
+                gpu,
+                ModelServer(
+                    gpu,
+                    max_batch=max_batch,
+                    max_delay_s=max_delay_s,
+                    cache_capacity=cache_capacity,
+                    convention=convention,
+                    max_chain=max_chain,
+                    seed=seed,
+                    clock=clock,
+                    sleep=sleep,
+                ),
+            )
+            for i, gpu in enumerate(gpus)
+        ]
+        self.scheduler = FleetScheduler(
+            self.workers, policy, spill_factor=spill_factor, trace=trace
+        )
+
+    @property
+    def policy(self) -> str:
+        return self.scheduler.policy
+
+    @property
+    def trace(self) -> list[RouteDecision] | None:
+        return self.scheduler.trace
+
+    # ---- synchronous routed path ----------------------------------------------
+    def _occupy(self, worker: FleetWorker, now: float, report: SessionReport) -> None:
+        """Charge a synchronous batch to the worker's occupancy timeline, so
+        later routing decisions see the device as busy (without this every
+        backlog estimate stays 0 and affinity pins all traffic to worker 0)."""
+        worker.busy_until = max(now, worker.busy_until) + report.latency_s
+        worker.busy_s += report.latency_s
+
+    def submit_analytic(
+        self, model: str, batch_size: int = 1, dtype: DType = DType.FP32
+    ) -> tuple[FleetWorker, SessionReport]:
+        """Route one analytic batch and run it on the chosen worker."""
+        now = self.clock()
+        worker = self.scheduler.route(model, dtype, now)
+        report = worker.server.submit_analytic(model, batch_size, dtype)
+        self._occupy(worker, now, report)
+        return worker, report
+
+    def submit(
+        self, model: str, inputs: np.ndarray, dtype: DType = DType.FP32
+    ) -> tuple[FleetWorker, SessionReport]:
+        """Route one functional batch and run it on the chosen worker."""
+        now = self.clock()
+        worker = self.scheduler.route(model, dtype, now)
+        report = worker.server.submit(model, inputs, dtype)
+        self._occupy(worker, now, report)
+        return worker, report
+
+    # ---- queued routed path ----------------------------------------------------
+    def enqueue(
+        self, model: str, inputs: np.ndarray | None = None, dtype: DType = DType.FP32
+    ) -> tuple[FleetWorker, int]:
+        """Route one request onto a worker's queue; returns (worker, its
+        worker-local request id)."""
+        worker = self.scheduler.route(model, dtype, self.clock())
+        return worker, worker.server.enqueue(model, inputs, dtype)
+
+    def pending(self) -> int:
+        return sum(w.server.pending() for w in self.workers)
+
+    def next_deadline(self) -> float | None:
+        deadlines = [d for w in self.workers if (d := w.server.next_deadline()) is not None]
+        return min(deadlines) if deadlines else None
+
+    def step(self, *, force: bool = False) -> list[tuple[FleetWorker, InferenceResult]]:
+        """Flush every worker's due micro-batches; results keep their worker
+        so callers can advance per-device occupancy."""
+        flushed: list[tuple[FleetWorker, InferenceResult]] = []
+        for worker in self.workers:
+            flushed.extend((worker, r) for r in worker.server.step(force=force))
+        return flushed
+
+    # ---- accounting -------------------------------------------------------------
+    def stats(self) -> FleetStats:
+        """Aggregate serving + plan-cache counters across the fleet."""
+        per_worker = tuple(
+            WorkerStats(
+                worker=w.name,
+                gpu=w.gpu.name,
+                requests=w.server.stats.requests,
+                images_served=w.server.stats.images_served,
+                batches=w.server.stats.batches,
+                mean_batch=w.server.stats.mean_batch,
+                busy_s=w.busy_s,
+                plan_hits=w.server.cache.stats.hits,
+                plan_misses=w.server.cache.stats.misses,
+                evictions=w.server.cache.stats.evictions,
+                planner_invocations=w.server.cache.stats.planner_invocations,
+            )
+            for w in self.workers
+        )
+        return FleetStats(
+            requests=sum(s.requests for s in per_worker),
+            images_served=sum(s.images_served for s in per_worker),
+            batches=sum(s.batches for s in per_worker),
+            plan_hits=sum(s.plan_hits for s in per_worker),
+            plan_misses=sum(s.plan_misses for s in per_worker),
+            evictions=sum(s.evictions for s in per_worker),
+            planner_invocations=sum(s.planner_invocations for s in per_worker),
+            per_worker=per_worker,
+        )

@@ -16,12 +16,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from ..core.dtypes import DType
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
+from .fleet import Fleet, FleetWorker, RouteDecision, WorkerStats
 from .server import InferenceResult, ModelServer
 
-__all__ = ["FakeClock", "StreamReport", "arrival_times", "replay"]
+__all__ = [
+    "FakeClock",
+    "StreamReport",
+    "FleetStreamReport",
+    "arrival_times",
+    "percentile",
+    "replay",
+    "fleet_replay",
+]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank-above percentile (numpy ``method="higher"``).
+
+    The serving convention for every reported p50/p99: the returned value is
+    always an *observed* latency at or above the requested rank.  Linear
+    interpolation (numpy's default) under-reports the tail on small result
+    sets — with 10 samples it places p99 between the 9th and 10th order
+    statistics, below the worst latency any request actually saw.
+    """
+    return float(np.percentile(samples, q, method="higher"))
 
 
 class FakeClock:
@@ -44,7 +67,11 @@ class FakeClock:
 
 @dataclass
 class StreamReport:
-    """Result of replaying one request stream against a server."""
+    """Result of replaying one request stream against a server.
+
+    ``latency_p50_s``/``latency_p99_s`` follow the nearest-rank-above
+    convention (see :func:`percentile`): each is an observed latency.
+    """
 
     model: str
     gpu: str
@@ -174,10 +201,183 @@ def replay(
         rate_rps=rate_rps,
         duration_s=duration,
         throughput_img_s=n_requests / duration,
-        latency_p50_s=float(np.percentile(latencies, 50)),
-        latency_p99_s=float(np.percentile(latencies, 99)),
+        latency_p50_s=percentile(latencies, 50),
+        latency_p99_s=percentile(latencies, 99),
         mean_batch=server.stats.mean_batch,
         energy_per_image_j=float(np.mean([r.energy_per_image_j for r in results])),
         planner_invocations=server.cache.stats.planner_invocations,
         latencies_s=latencies,
+    )
+
+
+@dataclass
+class FleetStreamReport:
+    """Result of replaying one request stream against a whole fleet.
+
+    Percentiles follow the same nearest-rank-above convention as
+    :class:`StreamReport` (see :func:`percentile`).  ``plan_hit_rate`` is the
+    fleet-wide plan-cache hit rate — the number the affinity-vs-round-robin
+    comparison pivots on.
+    """
+
+    models: tuple[str, ...]
+    gpus: tuple[str, ...]
+    policy: str
+    dtype: str
+    n_requests: int
+    max_batch: int
+    rate_rps: float
+    duration_s: float
+    throughput_img_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    mean_batch: float
+    plan_hit_rate: float
+    planner_invocations: int
+    #: the fleet's per-worker accounting snapshot at end of replay
+    #: (``busy_s`` is the worker's cumulative simulated execution time).
+    per_worker: tuple[WorkerStats, ...]
+    latencies_s: list[float] = field(default_factory=list)
+    #: populated when the replay ran with ``trace=True`` (``fleet --explain``).
+    routing_trace: tuple[RouteDecision, ...] = ()
+
+    def describe(self) -> str:
+        lines = [
+            f"fleet[{'+'.join(self.gpus)}] policy={self.policy} "
+            f"({self.dtype}): {self.n_requests} reqs of "
+            f"{','.join(self.models)} @ {self.rate_rps:g} rps, "
+            f"max_batch={self.max_batch} -> "
+            f"{self.throughput_img_s:.0f} img/s, "
+            f"p50 {self.latency_p50_s * 1e3:.3f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.3f} ms, "
+            f"mean batch {self.mean_batch:.1f}, "
+            f"plan hit rate {self.plan_hit_rate:.0%} "
+            f"({self.planner_invocations} planning pass(es))"
+        ]
+        for w in self.per_worker:
+            lines.append(
+                f"  {w.worker}: {w.requests} reqs in {w.batches} batches "
+                f"(mean {w.mean_batch:.1f}), busy {w.busy_s * 1e3:.3f} ms, "
+                f"cache {w.plan_hits}h/{w.plan_misses}m, "
+                f"{w.planner_invocations} plan(s)"
+            )
+        return "\n".join(lines)
+
+
+def fleet_replay(
+    gpus: Sequence[GpuSpec],
+    models: str | Sequence[str],
+    n_requests: int,
+    rate_rps: float,
+    dtype: DType = DType.FP32,
+    *,
+    policy: str = "affinity",
+    spill_factor: float = 2.0,
+    max_batch: int = 8,
+    max_delay_s: float = 2e-3,
+    poisson: bool = False,
+    max_chain: int = 2,
+    seed: int = 0,
+    trace: bool = False,
+    fleet: Fleet | None = None,
+) -> FleetStreamReport:
+    """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
+
+    Request ``i`` targets ``models[i % len(models)]`` — a deterministic
+    multi-model trace.  Unlike the single-server :func:`replay`, the shared
+    clock never advances by execution time: workers run in parallel, so each
+    :class:`FleetWorker` keeps its own occupancy timeline (``busy_until``).
+    A flushed batch starts when its device frees up; a request's latency is
+    queue wait + device wait + batched execution.  Everything (arrivals,
+    routing, occupancy) is deterministic, so replaying the same stream over
+    a fresh identically-configured fleet reproduces the report exactly.
+    """
+    clock = FakeClock()
+    if fleet is None:
+        fleet = Fleet(
+            gpus,
+            policy=policy,
+            spill_factor=spill_factor,
+            trace=trace,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            max_chain=max_chain,
+            seed=seed,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+    elif isinstance(fleet.clock, FakeClock):
+        clock = fleet.clock
+    else:
+        raise PlanError("fleet_replay needs a fleet driven by a FakeClock")
+    model_list = (models,) if isinstance(models, str) else tuple(models)
+    if not model_list:
+        raise PlanError("fleet_replay needs at least one model")
+
+    arrivals = arrival_times(n_requests, rate_rps, poisson=poisson, seed=seed)
+    latencies: list[float] = []
+
+    def handle(flushed: list[tuple[FleetWorker, InferenceResult]], now: float) -> None:
+        # Batches start in flush order on their own device; occupancy is
+        # per worker, so concurrently flushed workers overlap in time.
+        seen: list[tuple[int, int]] = []
+        groups: dict[tuple[int, int], tuple[FleetWorker, list[InferenceResult]]] = {}
+        for worker, result in flushed:
+            key = (worker.worker_id, result.batch_seq)
+            if key not in groups:
+                groups[key] = (worker, [])
+                seen.append(key)
+            groups[key][1].append(result)
+        for key in seen:
+            worker, batch = groups[key]
+            start = max(now, worker.busy_until)
+            exec_s = batch[0].exec_s
+            worker.busy_until = start + exec_s
+            worker.busy_s += exec_s
+            latencies.extend(r.wait_s + (start - now) + exec_s for r in batch)
+
+    for i, t in enumerate(arrivals):
+        # Partial batches whose deadline expires before this arrival flush at
+        # their deadline, not lazily at the next enqueue.
+        while True:
+            due = fleet.next_deadline()
+            if due is None or due > t:
+                break
+            clock.t = max(clock.t, due)
+            before = len(latencies)
+            handle(fleet.step(), clock.t)
+            if len(latencies) == before:
+                break
+        clock.t = max(clock.t, t)
+        fleet.enqueue(model_list[i % len(model_list)], dtype=dtype)
+        handle(fleet.step(), clock.t)
+
+    while fleet.pending():
+        due = fleet.next_deadline()
+        if due is not None:
+            clock.t = max(clock.t, due)
+        handle(fleet.step(), clock.t)
+
+    stats = fleet.stats()
+    finish = max([clock.t] + [w.busy_until for w in fleet.workers])
+    duration = max(finish - arrivals[0], 1e-12)
+    latencies.sort()
+    return FleetStreamReport(
+        models=model_list,
+        gpus=tuple(w.gpu.name for w in fleet.workers),
+        policy=fleet.policy,
+        dtype=dtype.value,
+        n_requests=n_requests,
+        max_batch=fleet.workers[0].server.max_batch,
+        rate_rps=rate_rps,
+        duration_s=duration,
+        throughput_img_s=n_requests / duration,
+        latency_p50_s=percentile(latencies, 50),
+        latency_p99_s=percentile(latencies, 99),
+        mean_batch=stats.mean_batch,
+        plan_hit_rate=stats.plan_hit_rate,
+        planner_invocations=stats.planner_invocations,
+        per_worker=stats.per_worker,
+        latencies_s=latencies,
+        routing_trace=tuple(fleet.trace or ()),
     )

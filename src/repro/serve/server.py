@@ -31,7 +31,7 @@ from ..core.dtypes import DType
 from ..errors import PlanError, ShapeError
 from ..gpu.specs import GpuSpec
 from ..runtime.session import SessionReport
-from .cache import CacheStats, PlanCache
+from .cache import CacheStats, PlanCache, PlanKey
 
 __all__ = ["InferenceRequest", "InferenceResult", "ServerStats", "ModelServer"]
 
@@ -174,22 +174,42 @@ class ModelServer:
         oldest = [q[0].enqueued_at for q in self._queues.values() if q]
         return min(oldest) + self.max_delay_s if oldest else None
 
-    def step(self, *, force: bool = False) -> list[InferenceResult]:
+    def step(
+        self, *, force: bool = False, max_flushes: int | None = None
+    ) -> list[InferenceResult]:
         """Flush every due micro-batch: full batches always, partial ones
-        once their oldest request has waited ``max_delay_s`` (or ``force``)."""
+        once their oldest request has waited ``max_delay_s`` (or ``force``).
+
+        ``max_flushes`` caps the number of micro-batches *executed* by this
+        call (surplus due requests stay queued), which is how
+        :meth:`serve_forever` enforces ``max_batches`` exactly.
+        """
         now = self.clock()
+        start = self._next_batch
         results: list[InferenceResult] = []
+
+        def budget() -> int | None:
+            if max_flushes is None:
+                return None
+            return max_flushes - (self._next_batch - start)
+
         for key in list(self._queues):
             queue = self._queues[key]
-            while len(queue) >= self.max_batch:
-                results.extend(self._flush(queue, self.max_batch, now))
+            while len(queue) >= self.max_batch and budget() != 0:
+                results.extend(self._flush(queue, self.max_batch, now, budget()))
             # Same arithmetic as next_deadline(), so stepping a clock pinned
             # to the deadline always flushes (a - b >= d can round false when
             # a == b + d in floats).
-            if queue and (force or now >= queue[0].enqueued_at + self.max_delay_s):
-                results.extend(self._flush(queue, len(queue), now))
+            if (
+                queue
+                and budget() != 0
+                and (force or now >= queue[0].enqueued_at + self.max_delay_s)
+            ):
+                results.extend(self._flush(queue, len(queue), now, budget()))
             if not queue:
                 del self._queues[key]
+            if budget() == 0:
+                break
         return results
 
     def serve_forever(
@@ -205,34 +225,101 @@ class ModelServer:
         deadline.  With a :class:`~repro.serve.loadgen.FakeClock` as the
         server's clock/sleep pair this is fully deterministic.
         """
+        if max_batches is not None and max_batches < 1:
+            raise PlanError(f"max_batches must be >= 1, got {max_batches}")
         results: list[InferenceResult] = []
-        batches_done = 0
+        start = self._next_batch
         while self.pending():
-            flushed = self.step()
+            remaining = (
+                None if max_batches is None
+                else max_batches - (self._next_batch - start)
+            )
+            if remaining == 0:
+                break
+            flushed = self.step(max_flushes=remaining)
             if flushed:
                 results.extend(flushed)
-                batches_done = len({r.batch_seq for r in results})
-                if max_batches is not None and batches_done >= max_batches:
-                    break
             else:
                 self.sleep(poll_s)
         return results
 
-    # ---- internals ------------------------------------------------------------
+    # ---- worker core (reused by repro.serve.fleet) ----------------------------
+    def estimated_queue_cost_s(self) -> float:
+        """Analytic cost of draining the current queues, for fleet routing.
+
+        Prices each queued request at its plan's single-image analytic
+        latency, using only plans already resident in the cache (peeked, so
+        a routing probe never perturbs hit/miss stats or LRU recency).
+        Requests for not-yet-planned models are priced at the mean known
+        per-request cost (0 when nothing is planned yet, which makes a cold
+        worker attractive — exactly when spilling to it is cheapest)."""
+        total = 0.0
+        unknown = 0
+        known: list[float] = []
+        for (model, dtype_value), queue in self._queues.items():
+            if not queue:
+                continue
+            key = PlanKey(
+                model=model,
+                dtype=dtype_value,
+                gpu=self.gpu.name,
+                convention=self.convention,
+                max_chain=self.max_chain,
+            )
+            entry = self.cache.peek(key)
+            if entry is None:
+                unknown += len(queue)
+                continue
+            per_request = entry.analytic_report(1).latency_s
+            known.append(per_request)
+            total += len(queue) * per_request
+        if unknown and known:
+            total += unknown * sum(known) / len(known)
+        return total
+
     def _flush(
-        self, queue: deque[InferenceRequest], count: int, now: float
+        self,
+        queue: deque[InferenceRequest],
+        count: int,
+        now: float,
+        budget: int | None = None,
     ) -> list[InferenceResult]:
-        batch = [queue.popleft() for _ in range(count)]
+        """Pop up to ``count`` requests and execute them as *homogeneous*
+        micro-batches: one batch per contiguous real/analytic run, arrival
+        order preserved, each with its own ``batch_seq``.  A mixed span thus
+        splits into sub-batches so requests that supplied real tensors always
+        come back with outputs (analytic placeholders never demote them).
+
+        ``budget`` caps the number of sub-batches executed; surplus requests
+        stay queued for the next flush.
+        """
+        results: list[InferenceResult] = []
+        popped = 0
+        while popped < count and budget != 0:
+            is_real = queue[0].input is not None
+            batch = [queue.popleft()]
+            popped += 1
+            while popped < count and (queue[0].input is not None) == is_real:
+                batch.append(queue.popleft())
+                popped += 1
+            results.extend(self._execute_batch(batch, now))
+            if budget is not None:
+                budget -= 1
+        return results
+
+    def _execute_batch(
+        self, batch: list[InferenceRequest], now: float
+    ) -> list[InferenceResult]:
+        """Run one homogeneous micro-batch (all-real or all-analytic) and
+        stamp its results — the execution/accounting core every flush path
+        (and the fleet worker) funnels through."""
         first = batch[0]
         cached = self.cache.get(
             first.model, first.dtype, self.gpu, self.convention, self.max_chain
         )
-        if all(r.input is not None for r in batch):
+        if first.input is not None:
             report = cached.session.run_batch(np.stack([r.input for r in batch]))
         else:
-            # Any placeholder request demotes the whole batch to counters-only
-            # (outputs None); mixing real tensors into an analytic batch would
-            # silently drop their outputs otherwise.
             report = cached.analytic_report(len(batch))
         self._account(report)
         seq = self._next_batch

@@ -5,6 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dtypes import DType
+from repro.ir.blocks import dsc_block, standard_conv
+from repro.ir.graph import GlueSpec, ModelGraph
 from repro.core.ops import (
     apply_activation,
     apply_norm,
@@ -14,6 +16,33 @@ from repro.core.ops import (
 )
 from repro.ir.layers import ConvKind, ConvSpec, EpilogueSpec
 from repro.kernels.params import LayerParams
+
+
+#: (name, stem channels) of the tiny zoo the serving/fleet tests register —
+#: subsecond to plan, unlike the full-size zoo models.
+TINY_ZOO = (("tiny_a", 8), ("tiny_b", 12), ("tiny_c", 16))
+
+
+def tiny_model_builder(name: str, channels: int):
+    """Zoo-compatible builder for a 3-layer stem+DSC+gap toy model."""
+
+    def build(dtype: DType = DType.FP32) -> ModelGraph:
+        g = ModelGraph(name)
+        last = standard_conv(g, "stem", 3, channels, 32, 32, stride=2, dtype=dtype)
+        last = dsc_block(g, "b1", channels, 2 * channels, 16, 16, after=last, dtype=dtype)
+        g.add(GlueSpec("gap", "gap", 2 * channels), after=last)
+        g.validate()
+        return g
+
+    return build
+
+
+def register_tiny_zoo(monkeypatch) -> None:
+    """Install the tiny models into repro.models.zoo for one test."""
+    from repro.models.zoo import MODELS
+
+    for name, channels in TINY_ZOO:
+        monkeypatch.setitem(MODELS, name, tiny_model_builder(name, channels))
 
 
 def ref_layer(params: LayerParams, x: np.ndarray) -> np.ndarray:

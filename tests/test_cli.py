@@ -7,7 +7,10 @@ import pytest
 from repro.cli import build_parser, main
 
 #: Every registered subcommand must carry a worked-example --help epilog.
-SUBCOMMANDS = ("gpus", "table2", "fig6", "fig10", "plan", "serve", "bench-serve")
+SUBCOMMANDS = (
+    "gpus", "table2", "fig6", "fig10", "plan", "chains", "serve",
+    "bench-serve", "fleet",
+)
 
 
 @pytest.fixture
@@ -73,6 +76,52 @@ def test_bench_serve_command(capsys, tiny_model):
     out = capsys.readouterr().out
     assert "vs b=1" in out
     assert "planner invocations: 1" in out
+
+
+def test_serve_command_with_fleet(capsys, tiny_model):
+    assert main([
+        "serve", tiny_model, "--gpus", "GTX,RTX",
+        "--requests", "16", "--rate", "100000", "--max-batch", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet[GTX+RTX]" in out and "plan hit rate" in out
+
+
+def test_bench_serve_command_with_fleet(capsys, tiny_model):
+    assert main([
+        "bench-serve", "--models", tiny_model, "--batches", "1,2",
+        "--gpus", "GTX,RTX",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "worker" in out and "fleet hit rate" in out
+
+
+def test_fleet_command(capsys, tiny_model):
+    assert main([
+        "fleet", "--gpus", "GTX,RTX", "--models", tiny_model,
+        "--requests", "16", "--rate", "100000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "fleet[GTX+RTX] policy=affinity" in out
+    assert "GTX#0" in out and "RTX#1" in out
+
+
+def test_fleet_command_explain_traces_routing(capsys, tiny_model):
+    assert main([
+        "fleet", "--gpus", "GTX,RTX", "--models", tiny_model,
+        "--requests", "8", "--rate", "100000", "--explain",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "routing trace" in out
+    assert out.count("#0 ") >= 1  # at least the first decision is printed
+
+
+def test_fleet_command_round_robin(capsys, tiny_model):
+    assert main([
+        "fleet", "--gpus", "GTX,GTX", "--models", tiny_model,
+        "--requests", "8", "--rate", "100000", "--policy", "round_robin",
+    ]) == 0
+    assert "policy=round_robin" in capsys.readouterr().out
 
 
 def test_unknown_command_rejected():

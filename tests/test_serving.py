@@ -9,39 +9,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from helpers import register_tiny_zoo, tiny_model_builder
+
 from repro.core.dtypes import DType
 from repro.errors import PlanError, ShapeError
 from repro.gpu.specs import GTX1660
-from repro.ir.blocks import dsc_block, standard_conv
-from repro.ir.graph import GlueSpec, ModelGraph
-from repro.models.zoo import MODELS
 from repro.planner.planner import FusePlanner
 from repro.runtime.network_params import materialize_network
 from repro.runtime.session import InferenceSession
 from repro.serve import FakeClock, ModelServer, PlanCache, replay
 
 
-def _tiny_builder(name: str, channels: int):
-    def build(dtype=DType.FP32):
-        g = ModelGraph(name)
-        last = standard_conv(g, "stem", 3, channels, 32, 32, stride=2, dtype=dtype)
-        last = dsc_block(g, "b1", channels, 2 * channels, 16, 16, after=last, dtype=dtype)
-        g.add(GlueSpec("gap", "gap", 2 * channels), after=last)
-        g.validate()
-        return g
-
-    return build
-
-
 @pytest.fixture(autouse=True)
 def tiny_zoo(monkeypatch):
     """Register fast-to-plan models the cache/server tests serve."""
-    for name, ch in (("tiny_a", 8), ("tiny_b", 12), ("tiny_c", 16)):
-        monkeypatch.setitem(MODELS, name, _tiny_builder(name, ch))
+    register_tiny_zoo(monkeypatch)
 
 
 def _toy_session(dtype=DType.FP32):
-    g = _tiny_builder("toy", 16)(dtype)
+    g = tiny_model_builder("toy", 16)(dtype)
     net = materialize_network(g, dtype)
     plan = FusePlanner(GTX1660).plan(g)
     return InferenceSession(g, plan, net)
@@ -210,6 +196,84 @@ class TestMicroBatching:
         rep = srv.submit("tiny_a", rng.standard_normal((3, 32, 32)).astype(np.float32))
         assert rep.batch_size == 1 and rep.output.shape[0] == 1
 
+    def test_mixed_batch_returns_real_outputs(self, rng):
+        """Regression: an analytic placeholder in the queue must not demote
+        real-tensor requests to output=None — the flush partitions by kind."""
+        srv = _server(max_batch=8)
+        xs = [rng.standard_normal((3, 32, 32)).astype(np.float32) for _ in range(2)]
+        rid_real0 = srv.enqueue("tiny_a", xs[0])
+        rid_analytic = srv.enqueue("tiny_a")
+        rid_real1 = srv.enqueue("tiny_a", xs[1])
+        results = {r.request_id: r for r in srv.step(force=True)}
+        assert len(results) == 3
+        # Interleaved kinds split into three homogeneous micro-batches.
+        assert len({r.batch_seq for r in results.values()}) == 3
+        assert results[rid_analytic].output is None
+        # Real outputs must match the synchronous batched path exactly.
+        ref = srv.submit("tiny_a", np.stack(xs))
+        np.testing.assert_array_equal(results[rid_real0].output, ref.output[0])
+        np.testing.assert_array_equal(results[rid_real1].output, ref.output[1])
+
+    def test_mixed_batch_preserves_contiguous_runs(self, rng):
+        """Contiguous same-kind requests stay in one micro-batch: the split
+        is per run, not per request."""
+        srv = _server(max_batch=8)
+        xs = [rng.standard_normal((3, 32, 32)).astype(np.float32) for _ in range(2)]
+        real_ids = [srv.enqueue("tiny_a", x) for x in xs]
+        analytic_ids = [srv.enqueue("tiny_a") for _ in range(3)]
+        results = {r.request_id: r for r in srv.step(force=True)}
+        real_seqs = {results[i].batch_seq for i in real_ids}
+        analytic_seqs = {results[i].batch_seq for i in analytic_ids}
+        assert len(real_seqs) == 1 and len(analytic_seqs) == 1
+        assert real_seqs != analytic_seqs
+        assert all(results[i].batch_size == 2 for i in real_ids)
+        assert all(results[i].batch_size == 3 for i in analytic_ids)
+        assert all(results[i].output is not None for i in real_ids)
+
+
+class TestServeForeverCap:
+    def test_max_batches_one_is_exact(self):
+        """Regression: max_batches=1 must flush exactly one micro-batch even
+        when several full batches are already due."""
+        srv = _server(max_batch=4)
+        for _ in range(12):
+            srv.enqueue("tiny_a")
+        results = srv.serve_forever(max_batches=1)
+        assert len(results) == 4
+        assert {r.batch_seq for r in results} == {results[0].batch_seq}
+        assert srv.stats.batches == 1 and srv.pending() == 8
+
+    def test_max_batches_all_but_one(self):
+        """Regression: stopping one short of the drain leaves exactly one
+        batch's worth of requests queued (N = batches - 1 boundary)."""
+        srv = _server(max_batch=4)
+        for _ in range(12):  # 3 full batches
+            srv.enqueue("tiny_a")
+        results = srv.serve_forever(max_batches=2)
+        assert len(results) == 8 and srv.stats.batches == 2
+        assert srv.pending() == 4
+        rest = srv.serve_forever()  # no cap: drains the remainder
+        assert len(rest) == 4 and srv.pending() == 0
+        assert srv.stats.batches == 3
+
+    def test_max_batches_cap_spans_models(self):
+        """The cap is global across per-model queues, not per queue."""
+        srv = _server(max_batch=2)
+        for _ in range(2):
+            srv.enqueue("tiny_a")
+        for _ in range(2):
+            srv.enqueue("tiny_b")
+        results = srv.serve_forever(max_batches=1)
+        assert len(results) == 2
+        assert {r.model for r in results} == {"tiny_a"}
+        assert srv.pending() == 2
+
+    def test_max_batches_validated(self):
+        srv = _server()
+        srv.enqueue("tiny_a")
+        with pytest.raises(PlanError):
+            srv.serve_forever(max_batches=0)
+
 
 class TestReplay:
     def test_replay_saturates_batches(self):
@@ -234,3 +298,28 @@ class TestReplay:
         )
         assert report.mean_batch == pytest.approx(1.0)
         assert report.n_requests == 4
+
+    def test_p99_nearest_rank_on_small_stream(self):
+        """Regression: p99 on a 10-sample stream must be the worst observed
+        latency (nearest-rank-above), not an optimistic interpolation below
+        it."""
+        # Burst arrivals with max_batch=1 serialize on the device, so the 10
+        # latencies form a strictly increasing staircase — distinct samples.
+        report = replay(GTX1660, "tiny_a", n_requests=10, rate_rps=1e9, max_batch=1)
+        latencies = report.latencies_s
+        assert len(latencies) == 10
+        assert len(set(latencies)) == 10
+        assert report.latency_p99_s == latencies[-1]
+        # Linear interpolation would have under-reported the tail.
+        assert float(np.percentile(latencies, 99)) < report.latency_p99_s
+        # p50 follows the same convention: an observed sample, rank above.
+        assert report.latency_p50_s == latencies[5]
+
+    def test_percentile_helper_convention(self):
+        from repro.serve import percentile
+
+        samples = [1.0, 2.0, 3.0, 4.0]
+        # "higher" rounds the interpolated rank up to an observed sample.
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 99) == 4.0
+        assert percentile([7.0], 99) == 7.0
