@@ -2,19 +2,29 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench docs-check lint
+.PHONY: test bench-smoke bench tune-smoke docs-check lint
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
 	$(PYTHON) -m pytest -x -q
 
-## quick serving + fleet + one-figure artifact pass (no full fig10 sweep);
-## emits BENCH_smoke.json so the bench trajectory accumulates in CI artifacts
+## quick serving + fleet + tuning + one-figure artifact pass (no full fig10
+## sweep); emits BENCH_smoke.json so the bench trajectory accumulates in CI
+## artifacts
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py \
 	    benchmarks/bench_table2_fusion_cases.py \
-	    benchmarks/bench_fleet_scaling.py --smoke \
+	    benchmarks/bench_fleet_scaling.py \
+	    benchmarks/bench_tuning.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
+
+## measure one model on one GPU and emit the tuning DB (TUNE_smoke.json);
+## CI uploads it next to the bench trajectory artifacts
+tune-smoke:
+	rm -f TUNE_smoke.json
+	$(PYTHON) -m repro.cli tune run --models mobilenet_v1 --gpus GTX \
+	    --db TUNE_smoke.json --mode guided --iterations 8
+	$(PYTHON) -m repro.cli tune show --db TUNE_smoke.json
 
 ## every paper artifact + the serving sweep (slow)
 bench:

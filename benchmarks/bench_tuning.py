@@ -1,0 +1,127 @@
+"""Tuning-loop payoff: calibrated vs. uncalibrated estimates, warm vs. cold.
+
+Not a paper artifact — this benchmarks the `repro.tune` subsystem's two
+promises.  First, that fitting per-(GPU, dtype, kernel-family) correction
+factors from measured records collapses the estimated-vs-measured latency
+gap across the model zoo (the regression test asserts *reduction*; this
+prints the actual error table).  Second, that warm-starting a fleet from a
+TuningDB moves every planning pass off the serving critical path — visible
+both in the replay accounting (0 critical-path planner invocations) and in
+real wall-clock time to first result.
+
+``--smoke`` (see benchmarks/conftest.py) shrinks the model set so `make
+bench-smoke` stays fast.
+"""
+
+import time
+
+from repro.core.dtypes import DType
+from repro.experiments import format_table
+from repro.gpu.specs import GTX1660, RTX_A4000
+from repro.models.zoo import build_model, model_names
+from repro.planner.planner import FusePlanner
+from repro.runtime.session import InferenceSession
+from repro.serve import FakeClock, Fleet, fleet_replay
+from repro.tune import TuningDB, fit_calibration, measure_model, plan_cost_estimate
+
+GPU = RTX_A4000
+RATE_RPS = 1e6
+
+
+def test_calibrated_vs_uncalibrated_estimates(benchmark, once, capsys, smoke):
+    models = ("mobilenet_v1", "mobilenet_v2") if smoke else model_names()
+
+    def run():
+        db = TuningDB()
+        for m in models:
+            measure_model(m, GPU, DType.FP32, db=db, mode="guided", iterations=8)
+        calib = fit_calibration(db)
+        rows = []
+        errors = {"uncal": [], "cal": []}
+        for m in models:
+            graph = build_model(m, DType.FP32)
+            plan = FusePlanner(GPU).plan(graph)
+            measured = InferenceSession(graph, plan).run_analytic().latency_s
+            est_u = plan_cost_estimate(plan)
+            est_c = plan_cost_estimate(plan, calib)
+            err_u = abs(est_u - measured) / measured
+            err_c = abs(est_c - measured) / measured
+            errors["uncal"].append(err_u)
+            errors["cal"].append(err_c)
+            rows.append([
+                m, f"{measured * 1e3:.3f}", f"{est_u * 1e3:.3f}",
+                f"{est_c * 1e3:.3f}", f"{err_u:.1%}", f"{err_c:.1%}",
+            ])
+        return db, calib, rows, errors
+
+    db, calib, rows, errors = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n[Tune] estimate quality on {GPU.name}, {len(rows)} models, "
+              f"{len(db)} records, {len(calib)} factors"
+              f"{' (smoke)' if smoke else ''}")
+        print(format_table(
+            ["model", "measured ms", "est ms", "calibrated ms", "err",
+             "calibrated err"],
+            rows,
+        ))
+        mean_u = sum(errors["uncal"]) / len(errors["uncal"])
+        mean_c = sum(errors["cal"]) / len(errors["cal"])
+        print(f"mean relative error: {mean_u:.1%} uncalibrated -> "
+              f"{mean_c:.1%} calibrated")
+    assert sum(errors["cal"]) < sum(errors["uncal"])
+
+
+def test_warm_vs_cold_fleet_start(benchmark, once, capsys, smoke):
+    models = ("mobilenet_v1",) if smoke else ("mobilenet_v1", "mobilenet_v2")
+    gpus = [GTX1660, RTX_A4000]
+    n_requests = 48 if smoke else 128
+
+    def run():
+        db = TuningDB()
+        for gpu in gpus:
+            for m in models:
+                measure_model(m, gpu, DType.FP32, db=db, mode="guided",
+                              iterations=4)
+        out = {}
+        # Cold: the fleet plans every model while requests are in flight,
+        # inside the timed region.
+        t0 = time.perf_counter()
+        report = fleet_replay(gpus, list(models), n_requests, RATE_RPS)
+        out["cold"] = (time.perf_counter() - t0, report)
+        # Warm: boot (planning from the DB) happens before serving starts;
+        # the timed region is the serving path only.
+        clock = FakeClock()
+        fleet = Fleet(gpus, db=db, clock=clock, sleep=clock.sleep)
+        t0 = time.perf_counter()
+        report = fleet_replay(gpus, list(models), n_requests, RATE_RPS,
+                              fleet=fleet)
+        out["warm"] = (time.perf_counter() - t0, report)
+        return out
+
+    out = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\n[Tune] warm vs cold fleet start, {n_requests} reqs of "
+              f"{','.join(models)} on {'+'.join(g.name for g in gpus)}"
+              f"{' (smoke)' if smoke else ''}")
+        rows = [
+            [label, f"{wall * 1e3:.0f}", r.warm_starts,
+             r.critical_path_planner_invocations,
+             f"{r.throughput_img_s:.0f}", f"{r.latency_p99_s * 1e3:.2f}"]
+            for label, (wall, r) in out.items()
+        ]
+        print(format_table(
+            ["start", "wall ms", "warm plans", "critical-path plans",
+             "img/s", "p99 ms"],
+            rows,
+        ))
+    cold_wall, cold = out["cold"]
+    warm_wall, warm = out["warm"]
+    # The whole point: planning leaves the critical path entirely.
+    assert cold.critical_path_planner_invocations > 0
+    assert warm.critical_path_planner_invocations == 0
+    assert warm.warm_starts == len(gpus) * len(models)
+    # Both replays served everything; the warm one routed with plan
+    # affinity from the very first request (cold fleets discover holders as
+    # they plan, so the streams differ — deterministically, each).
+    assert warm.n_requests == cold.n_requests == n_requests
+    assert warm_wall < cold_wall  # planning happened before the replay

@@ -14,6 +14,8 @@ Public API tour:
 * :mod:`repro.models` — MobileNetV1/V2, Xception, ProxylessNAS, CeiT, CMT.
 * :mod:`repro.runtime` — end-to-end inference sessions (single and batched).
 * :mod:`repro.serve` — plan-caching, micro-batching model server + load replay.
+* :mod:`repro.tune` — measurement-feedback autotuning (tuning records,
+  calibration fitting, serving warm-start).
 * :mod:`repro.experiments` — harnesses regenerating every paper table/figure.
 """
 

@@ -1,6 +1,6 @@
 """Baselines: simulated cuDNN algorithms and a TVM-like end-to-end compiler."""
 
-from .autotune import random_search
+from .autotune import SearchOutcome, random_search
 from .cudnn import (
     CudnnAlgo,
     best_cudnn_algo,
@@ -12,6 +12,7 @@ from .im2col import conv_via_im2col, depthwise_via_im2col, im2col
 from .tvm import TvmCompiler, TvmConvStep, TvmGlueStep, TvmPlan
 
 __all__ = [
+    "SearchOutcome",
     "random_search",
     "CudnnAlgo",
     "best_cudnn_algo",

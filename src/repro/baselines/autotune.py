@@ -4,19 +4,34 @@ The paper runs TVM auto-tuning "for 20 iterations with the hardware in the
 loop" (§V-C).  This tuner reproduces that protocol against the analytic
 timing models: sample up to N configurations without replacement from the
 candidate space (seeded, hence reproducible), evaluate each, keep the best.
+
+It doubles as the search backend of :mod:`repro.tune` — the
+measurement-feedback autotuner — which is why the result reports how many
+candidates were actually evaluated (the tuning records persist that budget)
+and why cost ties break deterministically: the lowest candidate *index*
+wins, so two runs over the same candidate list can never disagree on the
+winner even when the cost surface is flat.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, NamedTuple, Sequence, TypeVar
 
 import numpy as np
 
 from ..errors import PlanError
 
-__all__ = ["random_search"]
+__all__ = ["SearchOutcome", "random_search"]
 
 T = TypeVar("T")
+
+
+class SearchOutcome(NamedTuple):
+    """Winner of one search: configuration, its cost, evaluations spent."""
+
+    config: object
+    cost: float
+    evaluated: int
 
 
 def random_search(
@@ -24,25 +39,32 @@ def random_search(
     evaluate: Callable[[T], float],
     iterations: int = 20,
     seed: int = 0,
-) -> tuple[T, float]:
+) -> SearchOutcome:
     """Sample up to ``iterations`` candidates and return the best (lowest cost).
 
     Sampling is without replacement; when the space is smaller than the
     budget the search is exhaustive (as TVM's would effectively be).
+    Candidates are evaluated in ascending index order and cost ties keep the
+    lowest index, so the outcome is a pure function of (candidates,
+    iterations, seed).
     """
     if not candidates:
         raise PlanError("random_search needs at least one candidate")
-    rng = np.random.default_rng(seed)
+    if iterations < 1:
+        raise PlanError(f"random_search needs iterations >= 1, got {iterations}")
     n = len(candidates)
     take = min(iterations, n)
-    idx = rng.choice(n, size=take, replace=False)
-    best_cfg: T | None = None
+    if take == n:
+        idx = range(n)
+    else:
+        rng = np.random.default_rng(seed)
+        idx = sorted(int(i) for i in rng.choice(n, size=take, replace=False))
+    best_i = -1
     best_cost = float("inf")
     for i in idx:
-        cfg = candidates[int(i)]
-        cost = float(evaluate(cfg))
+        cost = float(evaluate(candidates[int(i)]))
         if cost < best_cost:
             best_cost = cost
-            best_cfg = cfg
-    assert best_cfg is not None  # take >= 1
-    return best_cfg, best_cost
+            best_i = int(i)
+    assert best_i >= 0  # take >= 1
+    return SearchOutcome(config=candidates[best_i], cost=best_cost, evaluated=take)

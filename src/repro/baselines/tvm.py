@@ -102,7 +102,7 @@ class TvmCompiler:
 
         # Per-layer seed keeps tuning deterministic yet layer-diverse.
         lseed = (self.seed * 1000003 + abs(hash(spec.name))) % (2**31)
-        (algo, tile), cost = random_search(
+        (algo, tile), cost, _evaluated = random_search(
             candidates, evaluate, self.tuning_iterations, seed=lseed
         )
         return TvmConvStep(spec=spec, algo=algo, gemm_tile=tile, tuned_cost_s=cost)

@@ -2,9 +2,10 @@
 
 Every subcommand maps onto one public subsystem: the artifact commands
 (``table2``/``fig6``/``fig10``) drive :mod:`repro.experiments`, ``plan``
-drives :mod:`repro.planner`, ``gpus`` prints :mod:`repro.gpu` presets, and
-the serving commands (``serve``/``bench-serve``/``fleet``) drive
-:mod:`repro.serve`.
+drives :mod:`repro.planner`, ``gpus`` prints :mod:`repro.gpu` presets, the
+serving commands (``serve``/``bench-serve``/``fleet``) drive
+:mod:`repro.serve`, and the ``tune`` group (``run``/``show``/``export``)
+drives :mod:`repro.tune`.
 
 Usage:
     python -m repro.cli table2 --dtype int8
@@ -14,6 +15,7 @@ Usage:
     python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000
     python -m repro.cli bench-serve --models mobilenet_v2,xception
     python -m repro.cli fleet --gpus GTX,RTX,Orin --models mobilenet_v2,xception
+    python -m repro.cli tune run --models mobilenet_v1 --gpus RTX --db TUNE_zoo.json
     python -m repro.cli gpus
 """
 
@@ -88,18 +90,41 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_tuning(path: str):
+    """Load a tuning DB and fit its calibration (shared by --db flags)."""
+    from .tune.calibrate import fit_calibration
+    from .tune.records import TuningDB
+
+    db = TuningDB.load(path)
+    return db, fit_calibration(db)
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from .models.zoo import build_model
     from .planner.planner import FusePlanner
 
+    calibration = None
+    if args.db:
+        db, calibration = _load_tuning(args.db)
+        print(f"calibrated planning: {len(db)} tuning records, "
+              f"{len(calibration)} family factors ({args.db})")
     graph = build_model(args.model, _dtype(args.dtype))
-    planner = FusePlanner(gpu_by_name(args.gpu), max_chain=args.max_chain)
+    planner = FusePlanner(
+        gpu_by_name(args.gpu), max_chain=args.max_chain, calibration=calibration
+    )
     plan = planner.plan(graph)
     print(plan.describe())
+    if calibration is not None:
+        from .tune.measure import plan_cost_estimate
+
+        print(f"est latency: {plan_cost_estimate(plan) * 1e3:.3f} ms analytic, "
+              f"{plan_cost_estimate(plan, calibration) * 1e3:.3f} ms calibrated")
     if args.explain:
         from .experiments.reporting import format_table
 
         print("\ncandidates (every fusion the planner evaluated):")
+        headers = ["layers", "module", "feasible", "fused GMA B", "LBL GMA B",
+                   "savings B", "chosen"]
         rows = [
             [
                 "+".join(c.layers), c.label,
@@ -109,11 +134,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             ]
             for c in planner.last_candidates
         ]
-        print(format_table(
-            ["layers", "module", "feasible", "fused GMA B", "LBL GMA B",
-             "savings B", "chosen"],
-            rows,
-        ))
+        if calibration is not None and calibration.covers(
+            planner.gpu.name, _dtype(args.dtype).value
+        ):
+            # The DP decided on calibrated seconds; show what it weighed.
+            headers.insert(-1, "savings us (cal)")
+            for row, c in zip(rows, planner.last_candidates):
+                row.insert(-1, f"{c.cost_savings * 1e6:.3f}")
+        print(format_table(headers, rows))
     return 0
 
 
@@ -145,6 +173,9 @@ def _fleet_gpus(spec: str) -> list:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.loadgen import fleet_replay, replay
 
+    db = calibration = None
+    if args.db:
+        db, calibration = _load_tuning(args.db)
     if args.gpus:
         report = fleet_replay(
             _fleet_gpus(args.gpus),
@@ -157,6 +188,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay_s=args.max_delay_ms * 1e-3,
             poisson=args.poisson,
             max_chain=args.max_chain,
+            db=db,
+            calibration=calibration,
         )
     else:
         report = replay(
@@ -169,6 +202,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_delay_s=args.max_delay_ms * 1e-3,
             poisson=args.poisson,
             max_chain=args.max_chain,
+            db=db,
+            calibration=calibration,
         )
     print(report.describe())
     return 0
@@ -234,6 +269,9 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .serve.loadgen import fleet_replay
 
+    db = calibration = None
+    if args.db:
+        db, calibration = _load_tuning(args.db)
     report = fleet_replay(
         _fleet_gpus(args.gpus),
         args.models.split(","),
@@ -247,12 +285,97 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         poisson=args.poisson,
         max_chain=args.max_chain,
         trace=args.explain,
+        db=db,
+        calibration=calibration,
     )
     print(report.describe())
     if args.explain and report.routing_trace:
         print("\nrouting trace (one line per request):")
         for decision in report.routing_trace:
             print(f"  {decision.describe()}")
+    return 0
+
+
+def _cmd_tune_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .tune.calibrate import fit_calibration
+    from .tune.measure import tune_models
+    from .tune.records import TuningDB
+
+    # An existing DB accumulates: new measurements merge with (and only
+    # improve on) what previous runs recorded.
+    db = TuningDB.load(args.db) if Path(args.db).exists() else TuningDB()
+    db, results = tune_models(
+        args.models.split(","),
+        _fleet_gpus(args.gpus),
+        _dtype(args.dtype),
+        db=db,
+        max_chain=args.max_chain,
+        mode=args.mode,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    path = db.save(args.db)
+    for mm in results:
+        print(mm.describe())
+    calib = fit_calibration(db)
+    if len(calib):
+        from .experiments.reporting import format_table
+
+        print("\nfitted calibration factors (measured / estimated):")
+        print(format_table(["gpu", "dtype", "family", "factor", "records"],
+                           calib.describe_rows()))
+    # Adoption count, not a length delta: a re-run that *improves* existing
+    # records (better tilings at a higher budget) still reports its work.
+    adopted = sum(mm.records_added for mm in results)
+    print(f"{len(db)} records ({adopted} new or improved) -> {path}")
+    return 0
+
+
+def _cmd_tune_show(args: argparse.Namespace) -> int:
+    from .experiments.reporting import format_table
+    from .tune.calibrate import fit_calibration
+    from .tune.records import TuningDB
+
+    db = TuningDB.load(args.db)
+    calib = fit_calibration(db)
+    models = [
+        r for r in db
+        if r.key.family == "model"
+        and isinstance(r.key.geometry, tuple) and len(r.key.geometry) == 2
+    ]
+    steps = sum(1 for r in db if r.key.family != "model")
+    print(f"{args.db}: {len(db)} records ({len(models)} models, {steps} steps)")
+    if models:
+        print("\nmodel-level records (warm-start set):")
+        print(format_table(
+            ["model", "K", "gpu", "dtype", "est ms", "measured ms", "ratio",
+             "candidates"],
+            [[r.key.geometry[0], r.key.geometry[1], r.key.gpu, r.key.dtype,
+              f"{r.est_cost_s * 1e3:.3f}", f"{r.measured_cost_s * 1e3:.3f}",
+              f"{r.ratio:.2f}", r.evaluated] for r in models],
+        ))
+    if len(calib):
+        print("\ncalibration factors (measured / estimated):")
+        print(format_table(["gpu", "dtype", "family", "factor", "records"],
+                           calib.describe_rows()))
+    if args.records:
+        print("\nall records (canonical order):")
+        for r in db:
+            print(f"  {r.key.family:12s} {r.key.gpu:5s} {r.key.dtype:5s} "
+                  f"est {r.est_cost_s * 1e6:9.2f}us  "
+                  f"measured {r.measured_cost_s * 1e6:9.2f}us  "
+                  f"tuned {r.tuned_cost_s * 1e6:9.2f}us  tiling {r.tiling}")
+    return 0
+
+
+def _cmd_tune_export(args: argparse.Namespace) -> int:
+    from .tune.records import TuningDB
+
+    db = TuningDB.load(args.db)
+    out = db.save(args.out)
+    print(f"exported {len(db)} records in canonical order -> {out}")
     return 0
 
 
@@ -303,7 +426,33 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli fleet --gpus RTX,RTX,RTX,RTX --models mobilenet_v2\n"
         "  python -m repro.cli fleet --gpus GTX,RTX,Orin "
         "--models mobilenet_v2,xception --explain\n"
-        "  python -m repro.cli fleet --gpus RTX,RTX --policy round_robin --poisson"
+        "  python -m repro.cli fleet --gpus RTX,RTX --policy round_robin --poisson\n"
+        "  python -m repro.cli fleet --gpus GTX,RTX --db TUNE_zoo.json  # warm start"
+    ),
+    "tune": (
+        "examples:\n"
+        "  python -m repro.cli tune run --models mobilenet_v1 --gpus RTX "
+        "--db TUNE_zoo.json\n"
+        "  python -m repro.cli tune show --db TUNE_zoo.json\n"
+        "  python -m repro.cli tune export --db TUNE_zoo.json --out TUNE_canonical.json"
+    ),
+    "tune run": (
+        "examples:\n"
+        "  python -m repro.cli tune run --models mobilenet_v1 --gpus RTX "
+        "--db TUNE_zoo.json\n"
+        "  python -m repro.cli tune run --models mobilenet_v2,xception "
+        "--gpus GTX,RTX,Orin --dtype int8 --db TUNE_zoo.json\n"
+        "  python -m repro.cli tune run --models mobilenet_v1 --gpus GTX "
+        "--mode exhaustive --db TUNE_zoo.json"
+    ),
+    "tune show": (
+        "examples:\n"
+        "  python -m repro.cli tune show --db TUNE_zoo.json\n"
+        "  python -m repro.cli tune show --db TUNE_zoo.json --records"
+    ),
+    "tune export": (
+        "examples:\n"
+        "  python -m repro.cli tune export --db TUNE_zoo.json --out TUNE_canonical.json"
     ),
 }
 
@@ -344,6 +493,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="dump every evaluated fusion candidate with its "
                         "estimated GMA and savings")
+    p.add_argument("--db", default="",
+                   help="tuning DB path (see `tune run`); when given, fusion "
+                        "decisions rank candidates by calibrated cost")
 
     p = _add_cmd(sub, "chains", _cmd_chains,
                  "compare pairwise (max-chain 2) vs chain fusion per model")
@@ -378,6 +530,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=["affinity", "round_robin"],
                    default="affinity",
                    help="fleet routing policy (with --gpus; default affinity)")
+    p.add_argument("--db", default="",
+                   help="tuning DB path: warm-start the server/fleet from its "
+                        "model records and plan new models calibrated")
 
     p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
                  "sweep batch size x model and report serving throughput")
@@ -423,6 +578,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--explain", action="store_true",
                    help="print the scheduler's per-request routing trace "
                         "(chosen worker, reason, backlog estimates)")
+    p.add_argument("--db", default="",
+                   help="tuning DB path: every worker warm-starts its own "
+                        "GPU's model records at boot")
+
+    p = sub.add_parser(
+        "tune",
+        help="measurement-feedback autotuning (run / show / export)",
+        epilog=_EPILOGS["tune"],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    tsub = p.add_subparsers(dest="tune_command", required=True)
+
+    def _add_tune(name: str, fn, help_: str) -> argparse.ArgumentParser:
+        tp = tsub.add_parser(
+            name,
+            help=help_,
+            epilog=_EPILOGS[f"tune {name}"],
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+        )
+        tp.set_defaults(fn=fn)
+        tp.add_argument("--db", required=True,
+                        help="tuning DB path (JSON-lines; created on demand)")
+        return tp
+
+    tp = _add_tune("run", _cmd_tune_run,
+                   "measure models, tune tilings, persist records")
+    tp.add_argument("--models", default="mobilenet_v1,mobilenet_v2",
+                    help="comma-separated model names (see repro.models.zoo)")
+    tp.add_argument("--gpus", default="RTX",
+                    help="comma-separated GPU presets to tune for")
+    tp.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    tp.add_argument("--max-chain", type=int, default=2,
+                    help="planner chain cap the measured plans use (default 2)")
+    tp.add_argument("--mode", choices=["guided", "random", "exhaustive"],
+                    default="guided",
+                    help="tiling search mode: guided always re-measures the "
+                         "planner's analytic pick (default), random is the "
+                         "paper's 20-iteration protocol, exhaustive sweeps "
+                         "every feasible tiling")
+    tp.add_argument("--iterations", type=int, default=20,
+                    help="measurement budget per step for guided/random "
+                         "modes (default 20, the paper's setting)")
+    tp.add_argument("--seed", type=int, default=0,
+                    help="search/measurement seed (default 0)")
+
+    tp = _add_tune("show", _cmd_tune_show,
+                   "summarize a tuning DB and its fitted calibration")
+    tp.add_argument("--records", action="store_true",
+                    help="also list every record in canonical order")
+
+    tp = _add_tune("export", _cmd_tune_export,
+                   "rewrite a DB in canonical (sorted, deduplicated) form")
+    tp.add_argument("--out", required=True, help="destination path")
     return parser
 
 

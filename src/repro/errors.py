@@ -30,3 +30,7 @@ class UnsupportedError(ReproError):
 
 class SimulationError(ReproError):
     """The GPU simulator detected an internal inconsistency during a launch."""
+
+
+class TuneError(ReproError):
+    """A tuning database is corrupt, from a future schema, or misused."""

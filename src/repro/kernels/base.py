@@ -43,6 +43,11 @@ class KernelResult:
         """Roofline timing of the launch on the result's GPU."""
         return time_kernel(self.counters, self.gpu, self.dtype)
 
+    @property
+    def time_s(self) -> float:
+        """End-to-end launch latency — the cost the tuning harness records."""
+        return self.timing().t_total_s
+
     def energy(self) -> EnergyBreakdown:
         """Energy of the launch on the result's GPU."""
         return energy_of(self.counters, self.timing(), self.gpu, self.dtype)

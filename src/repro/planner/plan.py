@@ -21,7 +21,17 @@ from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec
 from ..ir.layers import ConvSpec
 
-__all__ = ["LblStep", "ChainStep", "FcmStep", "GlueStep", "StdStep", "ExecutionPlan"]
+__all__ = [
+    "LblStep",
+    "ChainStep",
+    "FcmStep",
+    "GlueStep",
+    "StdStep",
+    "ExecutionPlan",
+    "lbl_family",
+    "chain_family",
+    "step_family",
+]
 
 
 @dataclass(frozen=True)
@@ -105,6 +115,39 @@ class GlueStep:
 
 
 PlanStep = LblStep | FcmStep | StdStep | GlueStep
+
+
+def lbl_family(spec: ConvSpec) -> str:
+    """Kernel-family name of one layer-by-layer kernel (``lbl-dw``/``lbl-pw``)."""
+    return f"lbl-{spec.kind.short}"
+
+
+def chain_family(fcm_type: FcmType | None, length: int) -> str:
+    """Kernel-family name of one fused module: ``fcm-<type>`` for pairwise
+    chains carrying their taxonomy type, ``chain-<N>`` beyond."""
+    if fcm_type is not None:
+        return f"fcm-{fcm_type.name.lower()}"
+    return f"chain-{length}"
+
+
+def step_family(step: PlanStep) -> str:
+    """Canonical kernel-family name of one plan step.
+
+    The vocabulary both the calibration fit (:mod:`repro.tune`) and the
+    calibrated planner group corrections by: ``lbl-dw`` / ``lbl-pw``,
+    ``fcm-<type>`` for pairwise fused modules, ``chain-<N>`` for longer
+    chains, ``std`` and ``glue`` for the shared non-DW/PW steps.  The
+    planner's cost hooks and the measurement harness both resolve names
+    through :func:`lbl_family` / :func:`chain_family`, so the vocabulary
+    has exactly one owner.
+    """
+    if isinstance(step, ChainStep):
+        return chain_family(step.fcm_type, step.length)
+    if isinstance(step, LblStep):
+        return lbl_family(step.spec)
+    if isinstance(step, StdStep):
+        return "std"
+    return "glue"
 
 
 @dataclass

@@ -30,7 +30,15 @@ from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind, ConvSpec
-from .plan import ChainStep, ExecutionPlan, GlueStep, LblStep, StdStep
+from .plan import (
+    ChainStep,
+    ExecutionPlan,
+    GlueStep,
+    LblStep,
+    StdStep,
+    chain_family,
+    lbl_family,
+)
 from .search import SearchResult, best_chain_tiling, best_fcm_tiling, best_lbl_tiling
 
 __all__ = ["FusePlanner", "FusionDecision", "ChainDecision", "CandidateReport"]
@@ -97,6 +105,10 @@ class CandidateReport:
     lbl_gma_bytes: int
     savings_bytes: int
     chosen: bool
+    #: the savings the DP actually weighed: equals ``savings_bytes`` when
+    #: uncalibrated, calibrated seconds otherwise (``plan --db --explain``
+    #: must explain the calibrated decision, not the byte objective).
+    cost_savings: float = 0.0
 
 
 def _lbl_key(spec: ConvSpec) -> tuple:
@@ -129,16 +141,32 @@ class FusePlanner:
         max_chain: longest fused chain the DP may pick.  The default of 2
             reproduces the paper's pairwise FCM plans; 3+ unlocks e.g. the
             PW->DW->PW inverted-residual chains of MobileNetV2.
+        calibration: optional measurement-feedback corrections (duck-typed
+            :class:`repro.tune.calibrate.Calibration`).  When given, fusion
+            decisions — the run-partitioning DP and FCM-type arbitration —
+            compare *calibrated seconds* (per-family factor x analytic cost)
+            instead of raw estimated GMA bytes, so candidates reorder where
+            the analytic model and the measurements disagree.  The switch is
+            evidence-gated per (GPU, dtype): groups the calibration holds no
+            factors for keep the byte ranking, so ``None``, an empty
+            calibration, and a DB tuned on other silicon all reproduce the
+            uncalibrated plans bit-for-bit.
     """
 
     def __init__(
-        self, gpu: GpuSpec, convention: str = "paper", max_chain: int = 2
+        self,
+        gpu: GpuSpec,
+        convention: str = "paper",
+        max_chain: int = 2,
+        calibration=None,
     ) -> None:
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
         self.gpu = gpu
         self.convention = convention
         self.max_chain = max_chain
+        self.calibration = calibration
+        self._covered: dict[DType, bool] = {}
         self._lbl_cache: dict[tuple, SearchResult] = {}
         #: memoized chain searches by run geometry; layer names are excluded
         #: deliberately, so lbl_gma_bytes is recomputed per actual span.
@@ -154,29 +182,78 @@ class FusePlanner:
             self._lbl_cache[key] = best_lbl_tiling(spec, self.gpu, self.convention)
         return self._lbl_cache[key]
 
-    # ---- pair evaluation --------------------------------------------------------
-    def evaluate_pair(self, first: ConvSpec, second: ConvSpec) -> FusionDecision | None:
-        """Best feasible FCM for a pair, or ``None`` if no module is feasible.
+    # ---- candidate-ranking currency --------------------------------------------
+    def _calibrated(self, dtype: DType) -> bool:
+        """Calibration applies only where measurements exist: a DB tuned on
+        another GPU or dtype must not reorder this group's plans (cached —
+        ``covers`` scans the factor table)."""
+        if self.calibration is None:
+            return False
+        if dtype not in self._covered:
+            self._covered[dtype] = self.calibration.covers(
+                self.gpu.name, dtype.value
+            )
+        return self._covered[dtype]
 
-        When both PWDW variants are feasible the one with lower estimated GMA
-        wins; ties prefer the redundancy-free module.
+    def _cost(self, family: str, gma_bytes: int, dtype: DType, launches: int = 1):
+        """What one candidate costs for ranking purposes.
+
+        Uncalibrated: the estimated GMA bytes themselves (the paper's
+        objective, kept as exact ints so plans reproduce bit-for-bit).
+        Calibrated: per-family corrected seconds, which is where measured
+        feedback reorders fuse-vs-not and FCM-type decisions.
         """
+        if not self._calibrated(dtype):
+            return gma_bytes
+        return self.calibration.cost_s(
+            family, gma_bytes, launches, self.gpu, dtype.value
+        )
+
+    def _lbl_cost(self, spec: ConvSpec):
+        return self._cost(lbl_family(spec), self.lbl_plan(spec).gma_bytes, spec.dtype)
+
+    def _decision_savings(self, dec: "ChainDecision"):
+        """DP weight of fusing one chain: unfused cost minus fused cost."""
+        if not self._calibrated(dec.specs[0].dtype):
+            return dec.savings_bytes
+        family = chain_family(dec.fcm_type, dec.length)
+        fused = self._cost(family, dec.result.gma_bytes, dec.specs[0].dtype)
+        return sum(self._lbl_cost(s) for s in dec.specs) - fused
+
+    # ---- pair evaluation --------------------------------------------------------
+    def _arbitrate_pair(
+        self, first: ConvSpec, second: ConvSpec
+    ) -> tuple[FcmType, SearchResult] | None:
+        """Best feasible FCM type for a pair (lowest cost, then redundancy)."""
         types = candidate_fcm_types(first.kind.short, second.kind.short)
-        best: tuple[int, float, FcmType, SearchResult] | None = None
+        best: tuple[tuple, FcmType, SearchResult] | None = None
         for t in types:
             res = best_fcm_tiling(t, first, second, self.gpu, self.convention)
             if res is None:
                 continue
-            key = (res.gma_bytes, res.redundancy_ratio, t, res)
-            if best is None or key[:2] < best[:2]:
+            cost = self._cost(chain_family(t, 2), res.gma_bytes, first.dtype)
+            key = ((cost, res.redundancy_ratio), t, res)
+            if best is None or key[0] < best[0]:
                 best = key
         if best is None:
+            return None
+        return best[1], best[2]
+
+    def evaluate_pair(self, first: ConvSpec, second: ConvSpec) -> FusionDecision | None:
+        """Best feasible FCM for a pair, or ``None`` if no module is feasible.
+
+        When both PWDW variants are feasible the one with lower estimated GMA
+        (calibrated cost, when calibrated) wins; ties prefer the
+        redundancy-free module.
+        """
+        hit = self._arbitrate_pair(first, second)
+        if hit is None:
             return None
         return FusionDecision(
             first=first,
             second=second,
-            fcm_type=best[2],
-            fcm=best[3],
+            fcm_type=hit[0],
+            fcm=hit[1],
             lbl_first=self.lbl_plan(first),
             lbl_second=self.lbl_plan(second),
         )
@@ -211,19 +288,7 @@ class FusePlanner:
         self, specs: tuple[ConvSpec, ...]
     ) -> tuple[FcmType | None, SearchResult] | None:
         if len(specs) == 2:
-            first, second = specs
-            types = candidate_fcm_types(first.kind.short, second.kind.short)
-            best: tuple[int, float, FcmType, SearchResult] | None = None
-            for t in types:
-                res = best_fcm_tiling(t, first, second, self.gpu, self.convention)
-                if res is None:
-                    continue
-                key = (res.gma_bytes, res.redundancy_ratio, t, res)
-                if best is None or key[:2] < best[:2]:
-                    best = key
-            if best is None:
-                return None
-            return best[2], best[3]
+            return self._arbitrate_pair(specs[0], specs[1])
         res = best_chain_tiling(FusedChain(specs), self.gpu, self.convention)
         if res is None:
             return None
@@ -235,9 +300,10 @@ class FusePlanner:
     ) -> tuple[list[ChainDecision], list[CandidateReport]]:
         """Optimal partition of one linear run into chains of length 1..K.
 
-        Interval DP maximizing total estimated GMA savings over the run; a
-        candidate chain participates only when feasible with positive
-        savings.  Ties deterministically prefer the shorter (less fused)
+        Interval DP maximizing total estimated savings over the run — GMA
+        bytes uncalibrated, per-family-corrected seconds when a calibration
+        is attached; a candidate chain participates only when feasible with
+        positive savings.  Ties deterministically prefer the shorter (less fused)
         split, then earlier layers.
         """
         n = len(specs)
@@ -259,6 +325,7 @@ class FusePlanner:
                     )
                 except PlanError:
                     dec, lbl = None, 0  # no feasible LBL baseline either
+                savings = self._decision_savings(dec) if dec is not None else 0
                 reports.append(
                     CandidateReport(
                         layers=tuple(s.name for s in span),
@@ -268,12 +335,13 @@ class FusePlanner:
                         lbl_gma_bytes=lbl,
                         savings_bytes=dec.savings_bytes if dec is not None else 0,
                         chosen=False,
+                        cost_savings=float(savings),
                     )
                 )
-                if dec is None or dec.savings_bytes <= 0:
+                if dec is None or savings <= 0:
                     continue
                 picked[(i - length, i)] = dec
-                total = best[i - length] + dec.savings_bytes
+                total = best[i - length] + savings
                 if total > best[i]:
                     best[i] = total
                     choice[i] = length

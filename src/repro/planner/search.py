@@ -26,7 +26,15 @@ from .chain_costs import chain_feasible, chain_gma
 from .costs import dw_feasible, dw_gma, pw_feasible, pw_gma
 from .fcm_costs import FcmCost, fcm_feasible, fcm_gma
 
-__all__ = ["SearchResult", "best_lbl_tiling", "best_fcm_tiling", "best_chain_tiling"]
+__all__ = [
+    "SearchResult",
+    "best_lbl_tiling",
+    "best_fcm_tiling",
+    "best_chain_tiling",
+    "enumerate_lbl_tilings",
+    "enumerate_fcm_tilings",
+    "enumerate_chain_tilings",
+]
 
 
 @dataclass(frozen=True)
@@ -68,31 +76,41 @@ def _best(
     return best[1], best[0][1], best[2]
 
 
-def best_lbl_tiling(spec: ConvSpec, gpu: GpuSpec, convention: str = "paper") -> SearchResult:
-    """Minimize Eq. 2 / Eq. 3 over the feasible tile grid for one layer."""
-    scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
+def enumerate_lbl_tilings(spec: ConvSpec, gpu: GpuSpec) -> list[dict[str, int]]:
+    """All *feasible* LBL tiling dicts for one DW/PW layer, in sweep order.
+
+    The grid the planner minimizes over — and the candidate space the
+    :mod:`repro.tune` measurement harness searches by observed cost.
+    """
+    out: list[dict[str, int]] = []
     if spec.kind is ConvKind.POINTWISE:
         out_hw = spec.out_h * spec.out_w
         for tm in _pow2_upto(spec.out_channels):
             for thw in _pow2_upto(out_hw, minimum=4):
-                tiling = PwTiling(tm, thw)
-                if not pw_feasible(spec, tiling, gpu):
-                    continue
-                gma = pw_gma(spec, tiling, convention).total_bytes
-                d = {"tile_m": tm, "tile_hw": thw}
-                scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
+                if pw_feasible(spec, PwTiling(tm, thw), gpu):
+                    out.append({"tile_m": tm, "tile_hw": thw})
     elif spec.kind is ConvKind.DEPTHWISE:
         for tc in _pow2_upto(spec.in_channels):
             for th in _pow2_upto(spec.out_h):
                 for tw in _pow2_upto(spec.out_w):
-                    tiling = DwTiling(tc, th, tw)
-                    if not dw_feasible(spec, tiling, gpu):
-                        continue
-                    gma = dw_gma(spec, tiling, convention).total_bytes
-                    d = {"tile_c": tc, "tile_h": th, "tile_w": tw}
-                    scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
+                    if dw_feasible(spec, DwTiling(tc, th, tw), gpu):
+                        out.append({"tile_c": tc, "tile_h": th, "tile_w": tw})
     else:
         raise PlanError(f"{spec.name}: LBL search supports only DW/PW layers")
+    return out
+
+
+def best_lbl_tiling(spec: ConvSpec, gpu: GpuSpec, convention: str = "paper") -> SearchResult:
+    """Minimize Eq. 2 / Eq. 3 over the feasible tile grid for one layer."""
+    scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
+    for d in enumerate_lbl_tilings(spec, gpu):
+        if spec.kind is ConvKind.POINTWISE:
+            gma = pw_gma(spec, PwTiling(d["tile_m"], d["tile_hw"]), convention).total_bytes
+        else:
+            gma = dw_gma(
+                spec, DwTiling(d["tile_c"], d["tile_h"], d["tile_w"]), convention
+            ).total_bytes
+        scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
     win = _best(scored)
     if win is None:
         raise PlanError(
@@ -133,6 +151,17 @@ def _fcm_tiling_candidates(
     raise PlanError(f"unknown FCM type {fcm_type}")
 
 
+def enumerate_fcm_tilings(
+    fcm_type: FcmType, first: ConvSpec, second: ConvSpec, gpu: GpuSpec
+) -> list[dict[str, int]]:
+    """All *feasible* tiling dicts of one pairwise FCM, in sweep order."""
+    return [
+        t
+        for t in _fcm_tiling_candidates(fcm_type, first, second)
+        if fcm_feasible(fcm_type, first, second, t, gpu)
+    ]
+
+
 def best_fcm_tiling(
     fcm_type: FcmType,
     first: ConvSpec,
@@ -147,9 +176,7 @@ def best_fcm_tiling(
     fusion is less likely when the weights use FP32").
     """
     scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
-    for tiling in _fcm_tiling_candidates(fcm_type, first, second):
-        if not fcm_feasible(fcm_type, first, second, tiling, gpu):
-            continue
+    for tiling in enumerate_fcm_tilings(fcm_type, first, second, gpu):
         cost: FcmCost = fcm_gma(fcm_type, first, second, tiling, convention)
         scored.append(
             (
@@ -180,6 +207,13 @@ def _chain_tiling_candidates(chain: FusedChain) -> list[dict[str, int]]:
     ]
 
 
+def enumerate_chain_tilings(chain: FusedChain, gpu: GpuSpec) -> list[dict[str, int]]:
+    """All *feasible* tiling dicts of one fused chain, in sweep order."""
+    return [
+        t for t in _chain_tiling_candidates(chain) if chain_feasible(chain, t, gpu)
+    ]
+
+
 def best_chain_tiling(
     chain: FusedChain, gpu: GpuSpec, convention: str = "paper"
 ) -> SearchResult | None:
@@ -192,9 +226,7 @@ def best_chain_tiling(
     Returns ``None`` when no tiling satisfies the chained constraints.
     """
     scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
-    for tiling in _chain_tiling_candidates(chain):
-        if not chain_feasible(chain, tiling, gpu):
-            continue
+    for tiling in enumerate_chain_tilings(chain, gpu):
         cost: FcmCost = chain_gma(chain, tiling, convention)
         scored.append(
             (

@@ -4,7 +4,9 @@ The serving subsystem turns the one-shot reproduction pipeline (plan ->
 session -> report) into a request-serving layer:
 
 * :mod:`repro.serve.cache` — LRU :class:`PlanCache` memoizing FusePlanner
-  plans + materialized weights per (model, dtype, GPU, convention);
+  plans + materialized weights per (model, dtype, GPU, convention), with
+  :meth:`PlanCache.warm_start` preloading plans from a
+  :class:`repro.tune.records.TuningDB` at boot;
 * :mod:`repro.serve.server` — :class:`ModelServer` with synchronous batched
   submits and a micro-batching request queue (flush on ``max_batch`` or
   deadline);

@@ -83,12 +83,17 @@ class CachedPlan:
 @dataclass
 class CacheStats:
     """Hit/miss/eviction tally plus the planner-invocation count the
-    serving acceptance test pins down (N requests, 1 planning pass)."""
+    serving acceptance test pins down (N requests, 1 planning pass).
+
+    ``warm_starts`` counts plans built at boot by :meth:`PlanCache.
+    warm_start` — those planner invocations happen *off* the serving
+    critical path, which is what the warm-started fleet replay asserts."""
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     planner_invocations: int = 0
+    warm_starts: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,11 +113,15 @@ class PlanCache:
     refreshes the entry's recency.
     """
 
-    def __init__(self, capacity: int = 8, seed: int = 0) -> None:
+    def __init__(self, capacity: int = 8, seed: int = 0, calibration=None) -> None:
         if capacity < 1:
             raise PlanError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.seed = seed
+        #: optional measurement-feedback corrections (duck-typed
+        #: :class:`repro.tune.calibrate.Calibration`) handed to every
+        #: FusePlanner this cache builds.
+        self.calibration = calibration
         self.stats = CacheStats()
         self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
 
@@ -155,6 +164,52 @@ class PlanCache:
             self.stats.evictions += 1
         return entry
 
+    def warm_start(
+        self,
+        db,
+        gpu: GpuSpec,
+        *,
+        convention: str = "paper",
+        max_chain: int = 2,
+    ) -> list[PlanKey]:
+        """Preload plans from a tuning DB's model-level records at boot.
+
+        Every ``family == "model"`` record matching this GPU, convention and
+        chain cap is planned *now*, so the first request for a tuned model
+        finds its plan resident — cold-start planning leaves the serving
+        critical path entirely.  Records this build cannot replay — models
+        absent from the zoo, unknown dtypes, plans that no longer have a
+        feasible tiling (all possible with a DB tuned against another
+        build) — are skipped, not fatal: a stale record must never stop a
+        server from booting.  Returns the keys preloaded, in the DB's
+        canonical order; LRU capacity still applies, so a DB larger than
+        the cache keeps only the last ``capacity`` plans.
+        """
+        from ..errors import UnsupportedError
+        from ..models.zoo import MODELS
+
+        loaded: list[PlanKey] = []
+        for rec in db:
+            k = rec.key
+            if k.family != "model" or k.gpu != gpu.name or k.convention != convention:
+                continue
+            if not (isinstance(k.geometry, tuple) and len(k.geometry) == 2):
+                continue  # foreign tooling's model record: skip, not fatal
+            model, rec_chain = k.geometry
+            if rec_chain != max_chain or model not in MODELS:
+                continue
+            try:
+                dtype = DType(k.dtype)
+            except ValueError:
+                continue  # a dtype this build doesn't know: skip, not fatal
+            try:
+                self.get(model, dtype, gpu, convention, max_chain)
+            except (UnsupportedError, PlanError):
+                continue
+            self.stats.warm_starts += 1
+            loaded.append(PlanKey.of(model, DType(k.dtype), gpu, convention, max_chain))
+        return loaded
+
     def _build(
         self,
         key: PlanKey,
@@ -166,7 +221,9 @@ class PlanCache:
     ) -> CachedPlan:
         graph = build_model(model, dtype)
         self.stats.planner_invocations += 1
-        plan = FusePlanner(gpu, convention, max_chain=max_chain).plan(graph)
+        plan = FusePlanner(
+            gpu, convention, max_chain=max_chain, calibration=self.calibration
+        ).plan(graph)
         params = materialize_network(graph, dtype, self.seed)
         session = InferenceSession(graph, plan, params)
         return CachedPlan(key=key, graph=graph, plan=plan, params=params, session=session)

@@ -207,6 +207,7 @@ class WorkerStats:
     plan_misses: int
     evictions: int
     planner_invocations: int
+    warm_starts: int = 0
 
 
 @dataclass(frozen=True)
@@ -220,6 +221,7 @@ class FleetStats:
     plan_misses: int
     evictions: int
     planner_invocations: int
+    warm_starts: int = 0
     per_worker: tuple[WorkerStats, ...] = field(default_factory=tuple)
 
     @property
@@ -259,10 +261,16 @@ class Fleet:
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        db=None,
+        calibration=None,
     ) -> None:
         if not gpus:
             raise PlanError("a fleet needs at least one GPU")
         self.clock = clock
+        #: one shared tuning DB warm-starts every worker: each preloads only
+        #: the model-level records matching *its own* GPU, so heterogeneous
+        #: fleets boot with per-silicon plans and serve their first request
+        #: with zero planner invocations on the critical path.
         self.workers = [
             FleetWorker(
                 i,
@@ -277,6 +285,8 @@ class Fleet:
                     seed=seed,
                     clock=clock,
                     sleep=sleep,
+                    db=db,
+                    calibration=calibration,
                 ),
             )
             for i, gpu in enumerate(gpus)
@@ -361,6 +371,7 @@ class Fleet:
                 plan_misses=w.server.cache.stats.misses,
                 evictions=w.server.cache.stats.evictions,
                 planner_invocations=w.server.cache.stats.planner_invocations,
+                warm_starts=w.server.cache.stats.warm_starts,
             )
             for w in self.workers
         )
@@ -372,5 +383,6 @@ class Fleet:
             plan_misses=sum(s.plan_misses for s in per_worker),
             evictions=sum(s.evictions for s in per_worker),
             planner_invocations=sum(s.planner_invocations for s in per_worker),
+            warm_starts=sum(s.warm_starts for s in per_worker),
             per_worker=per_worker,
         )

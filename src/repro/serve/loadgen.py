@@ -128,6 +128,8 @@ def replay(
     max_chain: int = 2,
     seed: int = 0,
     server: ModelServer | None = None,
+    db=None,
+    calibration=None,
 ) -> StreamReport:
     """Replay a synthetic stream and report throughput + latency percentiles.
 
@@ -145,6 +147,8 @@ def replay(
             max_chain=max_chain,
             clock=clock,
             sleep=clock.sleep,
+            db=db,
+            calibration=calibration,
         )
     elif isinstance(server.clock, FakeClock):
         clock = server.clock
@@ -240,8 +244,19 @@ class FleetStreamReport:
     latencies_s: list[float] = field(default_factory=list)
     #: populated when the replay ran with ``trace=True`` (``fleet --explain``).
     routing_trace: tuple[RouteDecision, ...] = ()
+    #: planning passes that happened while requests were in flight — a
+    #: TuningDB-warm-started fleet replays its tuned models at 0.
+    critical_path_planner_invocations: int = 0
+    #: plans preloaded at boot from a tuning DB (0 for cold starts).
+    warm_starts: int = 0
 
     def describe(self) -> str:
+        warm = (
+            f", {self.warm_starts} warm-started plan(s), "
+            f"{self.critical_path_planner_invocations} on the critical path"
+            if self.warm_starts
+            else ""
+        )
         lines = [
             f"fleet[{'+'.join(self.gpus)}] policy={self.policy} "
             f"({self.dtype}): {self.n_requests} reqs of "
@@ -252,7 +267,7 @@ class FleetStreamReport:
             f"p99 {self.latency_p99_s * 1e3:.3f} ms, "
             f"mean batch {self.mean_batch:.1f}, "
             f"plan hit rate {self.plan_hit_rate:.0%} "
-            f"({self.planner_invocations} planning pass(es))"
+            f"({self.planner_invocations} planning pass(es){warm})"
         ]
         for w in self.per_worker:
             lines.append(
@@ -280,6 +295,8 @@ def fleet_replay(
     seed: int = 0,
     trace: bool = False,
     fleet: Fleet | None = None,
+    db=None,
+    calibration=None,
 ) -> FleetStreamReport:
     """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
 
@@ -305,11 +322,16 @@ def fleet_replay(
             seed=seed,
             clock=clock,
             sleep=clock.sleep,
+            db=db,
+            calibration=calibration,
         )
     elif isinstance(fleet.clock, FakeClock):
         clock = fleet.clock
     else:
         raise PlanError("fleet_replay needs a fleet driven by a FakeClock")
+    # Anything planned so far (warm start, or a pre-used fleet) happened at
+    # boot: replay-time planning is what the critical-path accounting tracks.
+    boot_invocations = fleet.stats().planner_invocations
     model_list = (models,) if isinstance(models, str) else tuple(models)
     if not model_list:
         raise PlanError("fleet_replay needs at least one model")
@@ -380,4 +402,8 @@ def fleet_replay(
         per_worker=stats.per_worker,
         latencies_s=latencies,
         routing_trace=tuple(fleet.trace or ()),
+        critical_path_planner_invocations=(
+            stats.planner_invocations - boot_invocations
+        ),
+        warm_starts=stats.warm_starts,
     )

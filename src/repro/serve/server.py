@@ -97,6 +97,8 @@ class ModelServer:
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        db=None,
+        calibration=None,
     ) -> None:
         if max_batch < 1:
             raise PlanError(f"max_batch must be >= 1, got {max_batch}")
@@ -109,7 +111,17 @@ class ModelServer:
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
         self.max_chain = max_chain
-        self.cache = PlanCache(capacity=cache_capacity, seed=seed)
+        #: ``calibration`` threads measurement-feedback factors into every
+        #: plan this server builds; ``db`` (a :class:`repro.tune.records.
+        #: TuningDB`) warm-starts the cache at construction time so tuned
+        #: models never plan on the serving critical path.
+        self.cache = PlanCache(
+            capacity=cache_capacity, seed=seed, calibration=calibration
+        )
+        if db is not None:
+            self.cache.warm_start(
+                db, gpu, convention=convention, max_chain=max_chain
+            )
         self.clock = clock
         self.sleep = sleep
         self.stats = ServerStats(plan_cache=self.cache.stats)

@@ -1,0 +1,408 @@
+"""Measurement harness: observe what planned kernels actually cost.
+
+The paper tunes "with the hardware in the loop" (§V-C); this module is that
+loop over the simulated substrate.  For every step of a FusePlanner plan it
+records the *analytic prediction* (:func:`~repro.tune.calibrate.
+analytic_cost_s` of the planner's estimated GMA — the currency planning
+decisions are made in) next to the *observed cost* (the measured-convention
+counters through the roofline, i.e. what :meth:`InferenceSession.run_analytic`
+charges, which the functional kernels match byte-for-byte), then searches the
+step's feasible tiling grid by observed cost with the tie-break-fixed
+:func:`~repro.baselines.autotune.random_search` backend.
+
+Search modes:
+
+* ``"exhaustive"`` — measure every feasible tiling (the grids are small:
+  powers of two per axis);
+* ``"random"`` — the paper's protocol: sample ``iterations`` candidates;
+* ``"guided"`` (default) — DP-guided: the planner's analytically-chosen
+  tiling is always measured, plus ``iterations`` sampled candidates, so the
+  tuned result can never be worse than what planning already picked.
+
+Two measurement backends exist for tilings: ``"counters"`` (default) prices
+a candidate through the analytic counter builders in microseconds, and
+``"kernel"`` actually materializes parameters and runs the simulated kernel
+grid — slower, but the full hardware-in-the-loop path (their counters are
+byte-identical by the integration tests, so both return the same cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.autotune import random_search
+from ..baselines.cudnn import CudnnAlgo, cudnn_counters, cudnn_timing
+from ..core.chain import FusedChain
+from ..core.dtypes import DType
+from ..errors import TuneError
+from ..gpu.roofline import time_kernel
+from ..gpu.specs import GpuSpec
+from ..kernels.params import chain_quant, make_layer_params
+from ..kernels.registry import build_chain_kernel, build_lbl_kernel
+from ..models.zoo import build_model
+from ..planner.analytic import chain_counters, lbl_counters
+from ..planner.plan import (
+    ChainStep,
+    ExecutionPlan,
+    LblStep,
+    PlanStep,
+    StdStep,
+    step_family,
+)
+from ..planner.planner import FusePlanner
+from ..planner.search import (
+    enumerate_chain_tilings,
+    enumerate_fcm_tilings,
+    enumerate_lbl_tilings,
+)
+from ..runtime.glue import glue_counters
+from ..runtime.network_params import materialize_network
+from ..runtime.session import InferenceSession
+from .calibrate import analytic_cost_s
+from .records import TuningDB, TuningKey, TuningRecord, chain_geometry, spec_geometry
+
+__all__ = [
+    "MODES",
+    "ModelMeasurement",
+    "estimated_step_cost_s",
+    "measured_step_cost_s",
+    "simulated_kernel_cost_s",
+    "tune_step_tiling",
+    "plan_cost_estimate",
+    "measure_model",
+    "tune_models",
+]
+
+MODES = ("guided", "random", "exhaustive")
+
+#: cuDNN algorithm shared with the runtime's standard-conv steps.
+_STD_ALGO = CudnnAlgo.IMPLICIT_PRECOMP_GEMM
+
+
+# ---- per-step costing ---------------------------------------------------------
+def estimated_step_cost_s(step: PlanStep, gpu: GpuSpec, dtype: DType) -> float:
+    """The planner-side analytic latency proxy for one step (uncalibrated)."""
+    if isinstance(step, (LblStep, ChainStep)):
+        return analytic_cost_s(step.est_gma_bytes, 1, gpu)
+    if isinstance(step, StdStep):
+        c = cudnn_counters(step.spec, _STD_ALGO)
+    else:
+        c = glue_counters(step.spec, dtype)
+    return analytic_cost_s(c.total_bytes, c.kernel_launches, gpu)
+
+
+def _step_gma_bytes(step: PlanStep, dtype: DType) -> int:
+    if isinstance(step, (LblStep, ChainStep)):
+        return step.est_gma_bytes
+    if isinstance(step, StdStep):
+        return cudnn_counters(step.spec, _STD_ALGO).total_bytes
+    return glue_counters(step.spec, dtype).total_bytes
+
+
+def measured_step_cost_s(
+    step: PlanStep,
+    gpu: GpuSpec,
+    dtype: DType,
+    tiling: dict[str, int] | None = None,
+) -> float:
+    """Observed batch-1 latency of one step (``tiling`` overrides the plan's).
+
+    Matches :meth:`~repro.runtime.session.InferenceSession.run_analytic`
+    exactly: measured-convention counters through the roofline for DW/PW
+    work, the cuDNN timing model for standard convs.
+    """
+    if isinstance(step, ChainStep):
+        t = tiling if tiling is not None else step.tiling
+        c = chain_counters(step.specs, t, step.fcm_type)
+    elif isinstance(step, LblStep):
+        t = tiling if tiling is not None else step.tiling
+        c = lbl_counters(step.spec, t)
+    elif isinstance(step, StdStep):
+        return cudnn_timing(step.spec, _STD_ALGO, gpu).t_total_s
+    else:
+        c = glue_counters(step.spec, dtype)
+    return time_kernel(c, gpu, dtype).t_total_s
+
+
+def simulated_kernel_cost_s(
+    step: PlanStep,
+    gpu: GpuSpec,
+    dtype: DType,
+    tiling: dict[str, int] | None = None,
+    seed: int = 0,
+) -> float:
+    """Hardware-in-the-loop variant: run the actual simulated kernel grid.
+
+    Materializes deterministic parameters for the step's layer(s), builds the
+    kernel through the registry, streams a seeded random IFM through the
+    instrumented launch and prices the metered counters — the slow path the
+    counter backend reproduces byte-for-byte.
+    """
+    if not isinstance(step, (LblStep, ChainStep)):
+        raise TuneError("only DW/PW (LBL or fused) steps have simulated kernels")
+    t = tiling if tiling is not None else step.tiling
+    specs = step.specs if isinstance(step, ChainStep) else (step.spec,)
+    params = [make_layer_params(specs[0], seed=seed)]
+    for spec in specs[1:]:
+        params.append(chain_quant(params[-1], spec, seed=seed))
+    if isinstance(step, ChainStep):
+        kernel = build_chain_kernel(params, t, step.fcm_type)
+    else:
+        kernel = build_lbl_kernel(params[0], t)
+    rng = np.random.default_rng(seed)
+    shape = specs[0].ifm.shape
+    if dtype is DType.INT8:
+        ifm = rng.integers(-128, 128, shape).astype(np.int8)
+    else:
+        ifm = rng.standard_normal(shape).astype(np.float32)
+    return kernel.simulate(ifm, gpu).time_s
+
+
+def _step_geometry(step: PlanStep) -> tuple:
+    if isinstance(step, ChainStep):
+        return chain_geometry(step.specs)
+    if isinstance(step, (LblStep, StdStep)):
+        return spec_geometry(step.spec)
+    return (step.spec.op, step.spec.out_elements, step.spec.flops)
+
+
+def _tiling_candidates(step: PlanStep, gpu: GpuSpec) -> list[dict[str, int]]:
+    if isinstance(step, ChainStep):
+        if step.fcm_type is not None:
+            return enumerate_fcm_tilings(
+                step.fcm_type, step.specs[0], step.specs[1], gpu
+            )
+        return enumerate_chain_tilings(FusedChain(step.specs), gpu)
+    if isinstance(step, LblStep):
+        return enumerate_lbl_tilings(step.spec, gpu)
+    return []
+
+
+def tune_step_tiling(
+    step: PlanStep,
+    gpu: GpuSpec,
+    dtype: DType,
+    *,
+    mode: str = "guided",
+    iterations: int = 20,
+    seed: int = 0,
+    backend: str = "counters",
+) -> tuple[dict[str, int], float, int]:
+    """Search one step's feasible tiling grid by *observed* cost.
+
+    Returns ``(tiling, measured_cost_s, candidates_evaluated)``.  Steps
+    without a tiling vocabulary (std/glue) are measured as-is with one
+    evaluation.
+    """
+    if mode not in MODES:
+        raise TuneError(f"unknown search mode {mode!r}; choose from {MODES}")
+    if backend not in ("counters", "kernel"):
+        raise TuneError(f"unknown backend {backend!r}; 'counters' or 'kernel'")
+    if iterations < 1:
+        raise TuneError(f"measurement budget must be >= 1, got {iterations}")
+    candidates = _tiling_candidates(step, gpu)
+    if not candidates:
+        return {}, measured_step_cost_s(step, gpu, dtype), 1
+
+    # Memoized so ``evaluated`` reports *distinct* measurements: guided
+    # mode's re-check of the planner's pick is free when the sampled set
+    # already covered it.
+    memo: dict[tuple, float] = {}
+
+    def evaluate(t: dict[str, int]) -> float:
+        k = tuple(sorted(t.items()))
+        if k not in memo:
+            if backend == "kernel":
+                memo[k] = simulated_kernel_cost_s(step, gpu, dtype, t, seed)
+            else:
+                memo[k] = measured_step_cost_s(step, gpu, dtype, t)
+        return memo[k]
+
+    budget = len(candidates) if mode == "exhaustive" else iterations
+    best, cost, _ = random_search(candidates, evaluate, budget, seed=seed)
+    # Guided: the planner's analytic pick is always measured too.
+    if mode == "guided":
+        planned_cost = evaluate(step.tiling)
+        if planned_cost < cost:
+            best, cost = step.tiling, planned_cost
+    return dict(best), cost, len(memo)
+
+
+# ---- whole-plan costing -------------------------------------------------------
+def plan_cost_estimate(plan: ExecutionPlan, calibration=None) -> float:
+    """Predict a plan's batch-1 analytic latency from its estimates alone.
+
+    Uncalibrated this is the naive bytes-at-peak-bandwidth sum the planner
+    reasons in; with a :class:`~repro.tune.calibrate.Calibration` each step's
+    term is scaled by its family factor — the number the estimated-vs-
+    measured error test pins down.
+    """
+    total = 0.0
+    for step in plan.steps:
+        est = estimated_step_cost_s(step, plan.gpu, plan.dtype)
+        if calibration is not None:
+            est *= calibration.factor(
+                step_family(step), plan.gpu.name, plan.dtype.value
+            )
+        total += est
+    return total
+
+
+@dataclass(frozen=True)
+class ModelMeasurement:
+    """Summary of one tuned model: predictions vs. observations vs. tuned."""
+
+    model: str
+    gpu: str
+    dtype: str
+    convention: str
+    max_chain: int
+    est_cost_s: float  # naive analytic plan estimate
+    measured_cost_s: float  # observed plan latency (run_analytic)
+    tuned_cost_s: float  # observed latency with measurement-tuned tilings
+    steps: int
+    evaluated: int  # total tiling candidates measured
+    records_added: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.model} on {self.gpu} ({self.dtype}, K={self.max_chain}): "
+            f"est {self.est_cost_s * 1e3:.3f} ms vs measured "
+            f"{self.measured_cost_s * 1e3:.3f} ms "
+            f"(x{self.measured_cost_s / self.est_cost_s:.2f}), tuned "
+            f"{self.tuned_cost_s * 1e3:.3f} ms; {self.steps} steps, "
+            f"{self.evaluated} candidates measured, "
+            f"{self.records_added} records"
+        )
+
+
+def measure_model(
+    model: str,
+    gpu: GpuSpec,
+    dtype: DType = DType.FP32,
+    *,
+    db: TuningDB,
+    convention: str = "paper",
+    max_chain: int = 2,
+    mode: str = "guided",
+    iterations: int = 20,
+    seed: int = 0,
+    backend: str = "counters",
+) -> ModelMeasurement:
+    """Plan one model, measure every step, tune tilings, persist records.
+
+    Emits one :class:`~repro.tune.records.TuningRecord` per *distinct step
+    geometry* (repeated identical blocks share a record; the best-measured
+    one wins) plus one model-level record (family ``"model"``, geometry
+    ``(model, max_chain)``) that the serving warm-start path replays.
+    """
+    graph = build_model(model, dtype)
+    plan = FusePlanner(gpu, convention, max_chain=max_chain).plan(graph)
+    session = InferenceSession(
+        graph, plan, materialize_network(graph, dtype, seed)
+    )
+    report = session.run_analytic()
+    assert len(report.records) == len(plan.steps)
+
+    added = 0
+    evaluated_total = 0
+    tuned_total = 0.0
+    #: repeated identical blocks are ubiquitous in the zoo; their geometry
+    #: shares one record, so the (dominant) tiling search runs once per
+    #: distinct geometry, not once per occurrence.
+    searched: dict[tuple[str, tuple], tuple[dict[str, int], float, int]] = {}
+    for step, rec in zip(plan.steps, report.records):
+        est = estimated_step_cost_s(step, gpu, dtype)
+        family = step_family(step)
+        geometry = _step_geometry(step)
+        if (family, geometry) not in searched:
+            result = tune_step_tiling(
+                step, gpu, dtype, mode=mode, iterations=iterations, seed=seed,
+                backend=backend,
+            )
+            searched[(family, geometry)] = result
+            evaluated_total += result[2]  # measurements actually performed
+        tiling, tuned, evaluated = searched[(family, geometry)]
+        tuned_total += tuned
+        key = TuningKey(
+            family=family,
+            geometry=geometry,
+            gpu=gpu.name,
+            dtype=dtype.value,
+            convention=convention,
+        )
+        added += db.add(
+            TuningRecord(
+                key=key,
+                tiling=tiling,
+                est_cost_s=est,
+                measured_cost_s=rec.time_s,
+                tuned_cost_s=tuned,
+                gma_bytes=_step_gma_bytes(step, dtype),
+                evaluated=evaluated,
+                seed=seed,
+            )
+        )
+
+    est_plan = plan_cost_estimate(plan)
+    measured_plan = report.latency_s
+    added += db.add(
+        TuningRecord(
+            key=TuningKey(
+                family="model",
+                geometry=(model, max_chain),
+                gpu=gpu.name,
+                dtype=dtype.value,
+                convention=convention,
+            ),
+            tiling={},
+            est_cost_s=est_plan,
+            measured_cost_s=measured_plan,
+            tuned_cost_s=tuned_total,
+            gma_bytes=report.total_gma_bytes,
+            evaluated=evaluated_total,
+            seed=seed,
+        )
+    )
+    return ModelMeasurement(
+        model=model,
+        gpu=gpu.name,
+        dtype=dtype.value,
+        convention=convention,
+        max_chain=max_chain,
+        est_cost_s=est_plan,
+        measured_cost_s=measured_plan,
+        tuned_cost_s=tuned_total,
+        steps=len(plan.steps),
+        evaluated=evaluated_total,
+        records_added=added,
+    )
+
+
+def tune_models(
+    models: list[str] | tuple[str, ...],
+    gpus: list[GpuSpec] | tuple[GpuSpec, ...],
+    dtype: DType = DType.FP32,
+    *,
+    db: TuningDB | None = None,
+    convention: str = "paper",
+    max_chain: int = 2,
+    mode: str = "guided",
+    iterations: int = 20,
+    seed: int = 0,
+) -> tuple[TuningDB, list[ModelMeasurement]]:
+    """Measure every (model, GPU) combination into one DB (CLI ``tune run``)."""
+    db = db if db is not None else TuningDB()
+    out: list[ModelMeasurement] = []
+    for gpu in gpus:
+        for model in models:
+            out.append(
+                measure_model(
+                    model, gpu, dtype, db=db, convention=convention,
+                    max_chain=max_chain, mode=mode, iterations=iterations,
+                    seed=seed,
+                )
+            )
+    return db, out

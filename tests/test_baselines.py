@@ -137,12 +137,34 @@ class TestAutotune:
         assert r1 == r2
 
     def test_exhaustive_when_small(self):
-        best, cost = random_search([3, 1, 2], lambda x: x, 20, seed=0)
-        assert best == 1 and cost == 1
+        best, cost, evaluated = random_search([3, 1, 2], lambda x: x, 20, seed=0)
+        assert best == 1 and cost == 1 and evaluated == 3
+
+    def test_reports_evaluation_budget(self):
+        out = random_search(list(range(100)), lambda x: x, 20, seed=3)
+        assert out.evaluated == 20
+
+    def test_cost_ties_break_to_lowest_index(self):
+        # Flat cost surface: every seed must return candidate index 0 of the
+        # sampled set — and with an exhaustive budget, index 0 overall.
+        cand = ["a", "b", "c", "d"]
+        for seed in range(5):
+            out = random_search(cand, lambda _x: 1.0, iterations=10, seed=seed)
+            assert out.config == "a"
+        # Partial budgets still tie-break on candidate index within the
+        # sampled subset: identical across repeat runs.
+        big = list(range(1000))
+        o1 = random_search(big, lambda _x: 0.0, iterations=5, seed=11)
+        o2 = random_search(big, lambda _x: 0.0, iterations=5, seed=11)
+        assert o1 == o2 and o1.evaluated == 5
 
     def test_empty_rejected(self):
         with pytest.raises(PlanError):
             random_search([], lambda x: x)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(PlanError, match="iterations >= 1"):
+            random_search([1, 2], lambda x: x, iterations=0)
 
 
 class TestTvmCompiler:

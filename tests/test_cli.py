@@ -9,8 +9,11 @@ from repro.cli import build_parser, main
 #: Every registered subcommand must carry a worked-example --help epilog.
 SUBCOMMANDS = (
     "gpus", "table2", "fig6", "fig10", "plan", "chains", "serve",
-    "bench-serve", "fleet",
+    "bench-serve", "fleet", "tune",
 )
+
+#: ... and so must every `tune` group subcommand (PR-1 house style).
+TUNE_SUBCOMMANDS = ("run", "show", "export")
 
 
 @pytest.fixture
@@ -122,6 +125,98 @@ def test_fleet_command_round_robin(capsys, tiny_model):
         "--requests", "8", "--rate", "100000", "--policy", "round_robin",
     ]) == 0
     assert "policy=round_robin" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("cmd", TUNE_SUBCOMMANDS)
+def test_tune_subcommand_epilogs(cmd, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["tune", cmd, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "examples:" in out
+    assert f"python -m repro.cli tune {cmd}" in out
+
+
+@pytest.fixture
+def tiny_db_path(tmp_path, tiny_model, capsys):
+    """A tuning DB for the tiny model, built through the CLI itself."""
+    path = tmp_path / "tune.json"
+    assert main([
+        "tune", "run", "--models", tiny_model, "--gpus", "GTX",
+        "--db", str(path), "--iterations", "3",
+    ]) == 0
+    capsys.readouterr()  # drop the build output
+    return path
+
+
+def test_tune_run_reports_and_persists(capsys, tiny_model, tmp_path):
+    path = tmp_path / "tune.json"
+    assert main([
+        "tune", "run", "--models", tiny_model, "--gpus", "GTX,RTX",
+        "--db", str(path), "--iterations", "3",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "candidates measured" in out
+    assert "fitted calibration factors" in out
+    assert "new or improved)" in out and path.exists()
+    # Re-running identically accumulates into the same DB without
+    # duplicating or churning records.
+    assert main([
+        "tune", "run", "--models", tiny_model, "--gpus", "GTX",
+        "--db", str(path), "--iterations", "3",
+    ]) == 0
+    assert "(0 new or improved)" in capsys.readouterr().out
+
+
+def test_tune_show_command(capsys, tiny_model, tiny_db_path):
+    assert main(["tune", "show", "--db", str(tiny_db_path)]) == 0
+    out = capsys.readouterr().out
+    assert "model-level records" in out and "calibration factors" in out
+    assert main(["tune", "show", "--db", str(tiny_db_path), "--records"]) == 0
+    assert "all records" in capsys.readouterr().out
+
+
+def test_tune_show_tolerates_foreign_model_records(capsys, tmp_path):
+    # A schema-valid model record with the wrong geometry arity (another
+    # tool's convention) must not crash the summary.
+    from repro.tune.records import TuningDB, TuningKey, TuningRecord
+
+    db = TuningDB()
+    db.add(TuningRecord(
+        key=TuningKey("model", ("solo",), "GTX", "fp32", "paper"),
+        tiling={}, est_cost_s=1e-4, measured_cost_s=1e-4, tuned_cost_s=1e-4,
+        gma_bytes=1, evaluated=1,
+    ))
+    path = tmp_path / "foreign.json"
+    db.save(path)
+    assert main(["tune", "show", "--db", str(path)]) == 0
+    assert "0 models, 0 steps" in capsys.readouterr().out
+
+
+def test_tune_export_is_canonical(capsys, tiny_db_path, tmp_path):
+    out_path = tmp_path / "canonical.json"
+    assert main([
+        "tune", "export", "--db", str(tiny_db_path), "--out", str(out_path),
+    ]) == 0
+    assert "exported" in capsys.readouterr().out
+    assert out_path.read_bytes() == tiny_db_path.read_bytes()
+
+
+def test_plan_with_db_calibrates(capsys, tiny_model, tiny_db_path):
+    assert main([
+        "plan", tiny_model, "--gpu", "GTX", "--db", str(tiny_db_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "calibrated planning" in out and "est latency" in out
+
+
+def test_serve_with_db_warm_starts_fleet(capsys, tiny_model, tiny_db_path):
+    assert main([
+        "serve", tiny_model, "--gpus", "GTX,GTX",
+        "--requests", "16", "--rate", "100000", "--db", str(tiny_db_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "warm-started plan(s)" in out and "0 on the critical path" in out
 
 
 def test_unknown_command_rejected():
