@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench tune-smoke docs-check lint
+.PHONY: test bench-smoke bench tune-smoke docs-check lint profile
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
@@ -15,6 +15,7 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_serving_throughput.py \
 	    benchmarks/bench_table2_fusion_cases.py \
 	    benchmarks/bench_fleet_scaling.py \
+	    benchmarks/bench_kernel_simulation.py \
 	    benchmarks/bench_tuning.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 
@@ -29,6 +30,11 @@ tune-smoke:
 ## every paper artifact + the serving sweep (slow)
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+## cProfile top-25 of one MobileNetV2 functional run (fast engine) — the
+## starting point for simulator perf PRs; pass ARGS="--engine reference" etc.
+profile:
+	$(PYTHON) tools/profile_run.py mobilenet_v2 --top 25 $(ARGS)
 
 ## fail if README.md / docs reference modules, commands or files that don't exist
 docs-check:

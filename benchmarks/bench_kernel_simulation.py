@@ -3,7 +3,16 @@
 These are genuine wall-clock benchmarks (the figure benches above time
 analytic sweeps): they execute tiled kernels over real tensors and are the
 numbers to watch when optimizing the simulator's NumPy hot paths.
+
+The engine-speedup benches compare the two execution engines — the
+vectorized whole-grid ``"fast"`` path against the per-block interpreted
+``"reference"`` path — on single kernels and on end-to-end functional model
+runs, and record the speedup table in the pytest-benchmark JSON
+(``BENCH_smoke.json`` via ``make bench-smoke``) so the trajectory
+accumulates in CI artifacts.
 """
+
+import time
 
 import numpy as np
 import pytest
@@ -68,3 +77,92 @@ def test_bench_planner_layer_search(benchmark):
 
     out = benchmark(lambda: best_lbl_tiling(_PW, RTX_A4000))
     assert out.gma_bytes > 0
+
+
+# ---- fast vs reference engine ------------------------------------------------
+def _best_of(fn, rounds: int = 3) -> float:
+    fn()  # warm caches / BLAS threads
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_engine_speedup_kernels(benchmark, once, smoke):
+    """Single-kernel fast-vs-reference table (fine tiles = many blocks)."""
+    rows = []
+    cases = [
+        ("pw 56x56 coarse", _PW, {"tile_m": 32, "tile_hw": 256}),
+        ("pw 56x56 fine", _PW, {"tile_m": 8, "tile_hw": 49}),
+        ("dw 56x56 coarse", _DW, {"tile_c": 32, "tile_h": 14, "tile_w": 14}),
+        ("dw 56x56 fine", _DW, {"tile_c": 4, "tile_h": 7, "tile_w": 7}),
+    ]
+    speedups = {}
+    for label, spec, tiling in cases:
+        params = make_layer_params(spec)
+        x = _ifm(spec)
+        kernel = build_lbl_kernel(params, tiling)
+        t_ref = _best_of(lambda: kernel.simulate(x, RTX_A4000, "reference"))
+        t_fast = _best_of(lambda: kernel.simulate(x, RTX_A4000, "fast"))
+        speedups[label] = t_ref / t_fast
+        rows.append((label, t_ref * 1e3, t_fast * 1e3, t_ref / t_fast))
+    print("\nengine speedup (single kernels):")
+    print(f"{'case':18s} {'ref ms':>8s} {'fast ms':>8s} {'speedup':>8s}")
+    for label, ref_ms, fast_ms, sp in rows:
+        print(f"{label:18s} {ref_ms:8.2f} {fast_ms:8.2f} {sp:7.1f}x")
+    med = float(np.median(list(speedups.values())))
+    print(f"median single-kernel speedup: {med:.1f}x")
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in speedups.items()}
+    benchmark.extra_info["median_speedup"] = round(med, 2)
+    once(benchmark, lambda: build_lbl_kernel(
+        make_layer_params(_PW), {"tile_m": 8, "tile_hw": 49}
+    ).simulate(_ifm(_PW), RTX_A4000, "fast"))
+    assert all(s > 1.0 for s in speedups.values())
+
+
+def test_bench_engine_speedup_models(benchmark, once, smoke):
+    """End-to-end functional model runs, fast vs reference engine.
+
+    Emits the per-config wall clocks and the median speedup into the
+    benchmark JSON (``BENCH_smoke.json`` under ``extra_info``) — the number
+    the fast-path acceptance tracks.
+    """
+    from repro.runtime.session import build_session, seeded_input
+
+    configs = [
+        ("mobilenet_v1", DType.FP32),
+        ("mobilenet_v2", DType.INT8),
+    ]
+    if not smoke:
+        configs += [
+            ("mobilenet_v2", DType.FP32),
+            ("mobilenet_v1", DType.INT8),
+            ("proxylessnas", DType.FP32),
+            ("xception", DType.INT8),
+        ]
+    rows = []
+    speedups = {}
+    first_run = None
+    for model, dtype in configs:
+        session = build_session(model, RTX_A4000, dtype)
+        x = seeded_input(session.graph, dtype)
+        if first_run is None:
+            first_run = (session, x)
+        t_ref = _best_of(lambda: session.run(x, engine="reference"), rounds=2)
+        t_fast = _best_of(lambda: session.run(x, engine="fast"), rounds=2)
+        key = f"{model}/{dtype.value}"
+        speedups[key] = t_ref / t_fast
+        rows.append((key, t_ref * 1e3, t_fast * 1e3, t_ref / t_fast))
+    print("\nengine speedup (end-to-end functional model runs):")
+    print(f"{'model/dtype':22s} {'ref ms':>9s} {'fast ms':>9s} {'speedup':>8s}")
+    for key, ref_ms, fast_ms, sp in rows:
+        print(f"{key:22s} {ref_ms:9.1f} {fast_ms:9.1f} {sp:7.1f}x")
+    med = float(np.median(list(speedups.values())))
+    print(f"median end-to-end speedup: {med:.1f}x")
+    benchmark.extra_info["speedups"] = {k: round(v, 2) for k, v in speedups.items()}
+    benchmark.extra_info["median_speedup"] = round(med, 2)
+    session, x = first_run
+    once(benchmark, lambda: session.run(x, engine="fast"))
+    assert all(s > 1.0 for s in speedups.values())

@@ -12,6 +12,7 @@ Usage:
     python -m repro.cli fig6 --dtype fp32
     python -m repro.cli fig10 --dtype fp32
     python -m repro.cli plan mobilenet_v2 --gpu RTX --dtype int8
+    python -m repro.cli run mobilenet_v2 --gpu RTX --engine fast
     python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000
     python -m repro.cli bench-serve --models mobilenet_v2,xception
     python -m repro.cli fleet --gpus GTX,RTX,Orin --models mobilenet_v2,xception
@@ -145,6 +146,25 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    import time
+
+    from .runtime.session import build_session, seeded_input
+
+    dtype = _dtype(args.dtype)
+    session = build_session(
+        args.model, gpu_by_name(args.gpu), dtype,
+        max_chain=args.max_chain, engine=args.engine,
+    )
+    x = seeded_input(session.graph, dtype, seed=args.seed, batch=args.batch)
+    t0 = time.perf_counter()
+    report = session.run_batch(x) if args.batch > 1 else session.run(x)
+    wall_s = time.perf_counter() - t0
+    print(report.describe())
+    print(f"engine: {session.engine}; host wall clock {wall_s * 1e3:.1f} ms")
+    return 0
+
+
 def _cmd_chains(args: argparse.Namespace) -> int:
     from .experiments.chains import chain_comparison
     from .experiments.reporting import format_table
@@ -190,6 +210,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_chain=args.max_chain,
             db=db,
             calibration=calibration,
+            engine=args.engine,
         )
     else:
         report = replay(
@@ -204,6 +225,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_chain=args.max_chain,
             db=db,
             calibration=calibration,
+            engine=args.engine,
         )
     print(report.describe())
     return 0
@@ -315,6 +337,8 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
         mode=args.mode,
         iterations=args.iterations,
         seed=args.seed,
+        backend=args.backend,
+        engine=args.engine,
     )
     path = db.save(args.db)
     for mm in results:
@@ -404,6 +428,12 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli plan xception --gpu Orin --dtype int8\n"
         "  python -m repro.cli plan mobilenet_v2 --max-chain 3 --explain"
     ),
+    "run": (
+        "examples:\n"
+        "  python -m repro.cli run mobilenet_v2 --gpu RTX\n"
+        "  python -m repro.cli run mobilenet_v1 --engine reference  # per-block launches\n"
+        "  python -m repro.cli run xception --dtype int8 --batch 4"
+    ),
     "chains": (
         "examples:\n"
         "  python -m repro.cli chains --dtype int8\n"
@@ -413,7 +443,8 @@ _EPILOGS: dict[str, str] = {
         "examples:\n"
         "  python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000\n"
         "  python -m repro.cli serve xception --max-batch 16 --poisson\n"
-        "  python -m repro.cli serve mobilenet_v2 --gpus RTX,RTX,Orin  # fleet replay"
+        "  python -m repro.cli serve mobilenet_v2 --gpus RTX,RTX,Orin  # fleet replay\n"
+        "  python -m repro.cli serve mobilenet_v2 --engine reference  # interpreted path"
     ),
     "bench-serve": (
         "examples:\n"
@@ -443,7 +474,9 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli tune run --models mobilenet_v2,xception "
         "--gpus GTX,RTX,Orin --dtype int8 --db TUNE_zoo.json\n"
         "  python -m repro.cli tune run --models mobilenet_v1 --gpus GTX "
-        "--mode exhaustive --db TUNE_zoo.json"
+        "--mode exhaustive --db TUNE_zoo.json\n"
+        "  python -m repro.cli tune run --models mobilenet_v1 --gpus GTX "
+        "--backend kernel --engine fast --db TUNE_zoo.json"
     ),
     "tune show": (
         "examples:\n"
@@ -497,6 +530,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tuning DB path (see `tune run`); when given, fusion "
                         "decisions rank candidates by calibrated cost")
 
+    p = _add_cmd(sub, "run", _cmd_run,
+                 "run one functional inference end to end (fast or reference)")
+    p.add_argument("model")
+    p.add_argument("--gpu", default="RTX")
+    p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    p.add_argument("--engine", choices=["fast", "reference"], default="fast",
+                   help="execution engine: vectorized whole-grid fast path "
+                        "(default) or the per-block reference interpreter")
+    p.add_argument("--batch", type=int, default=1,
+                   help="run a batched pass over this many random images "
+                        "(default 1)")
+    p.add_argument("--max-chain", type=int, default=2,
+                   help="planner chain cap (default 2)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="input RNG seed (default 0)")
+
     p = _add_cmd(sub, "chains", _cmd_chains,
                  "compare pairwise (max-chain 2) vs chain fusion per model")
     p.add_argument("--models", default=",".join(
@@ -533,6 +582,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", default="",
                    help="tuning DB path: warm-start the server/fleet from its "
                         "model records and plan new models calibrated")
+    p.add_argument("--engine", choices=["fast", "reference"], default="fast",
+                   help="execution engine for functional batches "
+                        "(default fast)")
 
     p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
                  "sweep batch size x model and report serving throughput")
@@ -622,6 +674,13 @@ def build_parser() -> argparse.ArgumentParser:
                          "modes (default 20, the paper's setting)")
     tp.add_argument("--seed", type=int, default=0,
                     help="search/measurement seed (default 0)")
+    tp.add_argument("--backend", choices=["counters", "kernel"],
+                    default="counters",
+                    help="measurement backend: analytic counters (default) "
+                         "or the kernel-in-the-loop simulated grid")
+    tp.add_argument("--engine", choices=["fast", "reference"], default="fast",
+                    help="execution engine for --backend kernel (default "
+                         "fast; counters are bit-identical either way)")
 
     tp = _add_tune("show", _cmd_tune_show,
                    "summarize a tuning DB and its fitted calibration")

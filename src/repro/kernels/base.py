@@ -22,6 +22,7 @@ from ..errors import ShapeError
 from ..gpu.counters import AccessCounters
 from ..gpu.energy import EnergyBreakdown, energy_of
 from ..gpu.executor import LaunchStats, launch
+from ..gpu.fastpath import launch_fast, resolve_engine
 from ..gpu.memory import GlobalBuffer, SharedMemory
 from ..gpu.roofline import KernelTiming, time_kernel
 from ..gpu.specs import GpuSpec
@@ -54,12 +55,26 @@ class KernelResult:
 
 
 class SimKernel(abc.ABC):
-    """A simulated GPU kernel: a grid of blocks over instrumented buffers."""
+    """A simulated GPU kernel: a grid of blocks over instrumented buffers.
+
+    Every kernel supports two execution engines (both produce one
+    :class:`KernelResult`):
+
+    * ``"fast"`` (default) — the whole grid runs as one vectorized pass
+      (:meth:`run_grid`) with bulk counter accounting, bit-identical totals;
+    * ``"reference"`` — the per-block interpreted launch through
+      :func:`repro.gpu.executor.launch`, the fidelity ground truth.
+    """
 
     #: kernel name used in reports and error messages.
     name: str
     #: storage precision of feature maps and weights.
     dtype: DType
+    #: when True, ``bind`` may hand out the memoized OFM buffer again for a
+    #: re-simulation with the same geometry (the batch loops set this while
+    #: they copy each image's output out immediately; default off so two
+    #: independent ``simulate`` calls never alias their outputs).
+    reuse_output: bool = False
 
     @abc.abstractmethod
     def grid(self) -> Sequence[tuple[int, ...]]:
@@ -76,6 +91,16 @@ class SimKernel(abc.ABC):
     @abc.abstractmethod
     def output_array(self) -> np.ndarray:
         """The OFM array after the launch."""
+
+    def run_grid(self) -> int:
+        """Fast-path hook: execute the whole grid vectorized (see
+        :class:`repro.gpu.fastpath.GridProgram`).  Kernels without an
+        implementation transparently fall back to the reference launch."""
+        raise NotImplementedError(f"{self.name}: no fast-path grid program")
+
+    def has_fast_path(self) -> bool:
+        """Does this kernel implement the vectorized grid program?"""
+        return type(self).run_grid is not SimKernel.run_grid
 
     def finalize(self, counters: AccessCounters) -> None:
         """Post-launch accounting hook (e.g. redundant-MAC reclassification)."""
@@ -105,8 +130,57 @@ class SimKernel(abc.ABC):
         """Instrumented buffer at the kernel's storage width."""
         return GlobalBuffer(name, array, kind, counters, elem_bytes=self.dtype.nbytes)
 
-    def simulate(self, ifm: np.ndarray, gpu: GpuSpec) -> KernelResult:
-        """Run the kernel on ``ifm`` and return output + metered statistics."""
+    def _memo_grid(self, build) -> Sequence[tuple[int, ...]]:
+        """Materialize the launch grid once per kernel instance.
+
+        A kernel's geometry is fixed at construction, yet every launch used
+        to rebuild the coordinate list from scratch — measurable overhead
+        for batch loops re-simulating the same instance.
+        """
+        cached = getattr(self, "_grid_cache", None)
+        if cached is None:
+            cached = build()
+            self._grid_cache = cached
+        return cached
+
+    def _fresh_output(self, shape: tuple[int, ...], np_dtype) -> np.ndarray:
+        """Zeroed OFM array for ``bind``, recycled when the caller allows it.
+
+        With :attr:`reuse_output` set (batch loops that copy each image's
+        output out before the next ``bind``), a re-simulation with the same
+        geometry re-zeroes the memoized buffer instead of allocating a new
+        one.  Otherwise every ``bind`` allocates, so independently returned
+        :class:`KernelResult` outputs never alias.
+        """
+        cached = getattr(self, "_out_cache", None)
+        if (
+            self.reuse_output
+            and cached is not None
+            and cached.shape == shape
+            and cached.dtype == np_dtype
+        ):
+            cached.fill(0)
+            return cached
+        out = np.zeros(shape, dtype=np_dtype)
+        self._out_cache = out
+        return out
+
+    def _launch(self, gpu: GpuSpec, counters: AccessCounters, engine: str) -> LaunchStats:
+        """Dispatch one bound launch to the selected engine."""
+        if engine == "fast" and self.has_fast_path():
+            return launch_fast(self, gpu, counters)
+        return launch(self, gpu, counters)
+
+    def simulate(
+        self, ifm: np.ndarray, gpu: GpuSpec, engine: str | None = None
+    ) -> KernelResult:
+        """Run the kernel on ``ifm`` and return output + metered statistics.
+
+        ``engine`` selects the execution path (``"fast"`` by default,
+        ``"reference"`` for the per-block interpreted launch); outputs are
+        allclose at dtype tolerance and counters/stats exactly equal.
+        """
+        engine = resolve_engine(engine)
         if ifm.dtype != self.dtype.np_dtype:
             raise ShapeError(
                 f"{self.name}: IFM dtype {ifm.dtype} does not match kernel {self.dtype}"
@@ -114,7 +188,7 @@ class SimKernel(abc.ABC):
         counters = AccessCounters()
         self.check_capacity(gpu)
         self.bind(ifm, counters)
-        stats = launch(self, gpu, counters)
+        stats = self._launch(gpu, counters, engine)
         self.finalize(counters)
         return KernelResult(
             output=self.output_array(),
@@ -124,7 +198,9 @@ class SimKernel(abc.ABC):
             dtype=self.dtype,
         )
 
-    def simulate_batch(self, ifms: np.ndarray, gpu: GpuSpec) -> KernelResult:
+    def simulate_batch(
+        self, ifms: np.ndarray, gpu: GpuSpec, engine: str | None = None
+    ) -> KernelResult:
         """Run a stack of IFMs (leading batch dimension) as one batched launch.
 
         Functionally each image flows through the same simulated grid; the
@@ -132,15 +208,36 @@ class SimKernel(abc.ABC):
         launch total, per-image traffic/compute scaled by the batch, and the
         cross-image weight re-streams annotated for L2 absorption.  The
         output keeps the leading batch dimension.
+
+        Batched counters are the first image's totals scaled by the batch
+        (see :meth:`AccessCounters.batched` — asserted in the test suite),
+        so only image 0 runs metered-and-finalized; the remaining images
+        execute functionally against scratch counters, sharing one finalize
+        pass and recycling the OFM buffer (each image's output is copied
+        into the batch array before the next ``bind``).
         """
         if ifms.ndim < 2 or ifms.shape[0] < 1:
             raise ShapeError(f"{self.name}: batched IFM needs a leading batch dim")
-        results = [self.simulate(ifm, gpu) for ifm in ifms]
-        counters = results[0].counters.batched(len(results), self.weight_bytes())
+        engine = resolve_engine(engine)
+        n = ifms.shape[0]
+        first = self.simulate(ifms[0], gpu, engine)
+        out = np.empty((n,) + first.output.shape, dtype=first.output.dtype)
+        out[0] = first.output
+        prev_reuse = self.reuse_output
+        self.reuse_output = True
+        try:
+            scratch = AccessCounters()
+            for i in range(1, n):
+                self.bind(ifms[i], scratch)
+                self._launch(gpu, scratch, engine)
+                out[i] = self.output_array()
+        finally:
+            self.reuse_output = prev_reuse
+        counters = first.counters.batched(n, self.weight_bytes())
         return KernelResult(
-            output=np.stack([r.output for r in results]),
+            output=out,
             counters=counters,
-            stats=results[0].stats,
+            stats=first.stats,
             gpu=gpu,
             dtype=self.dtype,
         )

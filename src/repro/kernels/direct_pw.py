@@ -17,6 +17,7 @@ from ..core.dtypes import DType
 from ..core.tiling import PwTiling, ceil_div
 from ..errors import CapacityError, ShapeError
 from ..gpu.counters import AccessCounters
+from ..gpu.fastpath import grid_matmul
 from ..gpu.memory import SharedMemory
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind
@@ -58,9 +59,12 @@ class PwDirectKernel(SimKernel):
 
     # ---- launch -----------------------------------------------------------------
     def grid(self) -> Sequence[tuple[int, ...]]:
-        nm = ceil_div(self.spec.out_channels, self.tile_m)
-        ns = ceil_div(self.out_hw, self.tile_hw)
-        return [(mi, si) for mi in range(nm) for si in range(ns)]
+        def build() -> list[tuple[int, ...]]:
+            nm = ceil_div(self.spec.out_channels, self.tile_m)
+            ns = ceil_div(self.out_hw, self.tile_hw)
+            return [(mi, si) for mi in range(nm) for si in range(ns)]
+
+        return self._memo_grid(build)
 
     def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
         if ifm.shape != self.spec.ifm.shape:
@@ -71,7 +75,7 @@ class PwDirectKernel(SimKernel):
         x = np.ascontiguousarray(ifm[:, ::s, ::s]).reshape(self.spec.in_channels, -1)
         self._ifm = self.make_buffer("ifm", x, "ifm", counters)
         self._w = self.make_buffer("weights", self.params.weights, "weights", counters)
-        out = np.zeros((self.spec.out_channels, self.out_hw), dtype=self.dtype.np_dtype)
+        out = self._fresh_output((self.spec.out_channels, self.out_hw), self.dtype.np_dtype)
         self._out = self.make_buffer("ofm", out, "ofm", counters)
         self._counters = counters
 
@@ -88,6 +92,28 @@ class PwDirectKernel(SimKernel):
         y = self.params.epilogue.apply(acc, m0, m1, self.dtype)
         self._out.store((slice(m0, m1), slice(p0, p1)), y)
         self._counters.compute((m1 - m0) * self.spec.in_channels * (p1 - p0))
+
+    def run_grid(self) -> int:
+        """Whole-grid fast path: one full matmul over the subsampled IFM.
+
+        Per-block sums in closed form: the IFM streams once per filter
+        group, the weight matrix once per spatial tile, every OFM element
+        is written exactly once.
+        """
+        spec = self.spec
+        eb = self.dtype.nbytes
+        m_all, c_in = spec.out_channels, spec.in_channels
+        nm = ceil_div(m_all, self.tile_m)
+        ns = ceil_div(self.out_hw, self.tile_hw)
+        ctr = self._counters
+        ctr.read_bulk("weights", m_all * c_in * eb, ns)
+        ctr.read_bulk("ifm", c_in * self.out_hw * eb, nm)
+        ctr.write_bulk("ofm", m_all * self.out_hw * eb)
+        ctr.compute(m_all * c_in * self.out_hw)
+
+        acc = grid_matmul(self._w.array, self._ifm.array, self.dtype.acc_dtype)
+        self._out.array[...] = self.params.epilogue.apply(acc, 0, m_all, self.dtype)
+        return 0  # direct kernels keep everything in registers / L1
 
     def output_array(self) -> np.ndarray:
         return self._out.array.reshape(

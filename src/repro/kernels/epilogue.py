@@ -73,7 +73,9 @@ class ConvEpilogue:
                 raise UnsupportedError("INT8 kernel requires quantization scales")
             x = acc.astype(np.float64) * self.dequant_multiplier()
         else:
-            x = acc.astype(np.float32)
+            # copy=False: fp32 accumulators pass through as-is (the epilogue
+            # never mutates in place, so aliasing the accumulator is safe).
+            x = acc.astype(np.float32, copy=False)
         if self.norm_scale is not None:
             bshape = (-1,) + (1,) * (acc.ndim - 1)
             scale = self.norm_scale[ch0:ch1].reshape(bshape)
@@ -87,4 +89,4 @@ class ConvEpilogue:
         if dtype is DType.INT8:
             q = np.rint(x / self.out_scale.scale)
             return np.clip(q, -128, 127).astype(np.int8)
-        return x.astype(np.float32)
+        return x.astype(np.float32, copy=False)

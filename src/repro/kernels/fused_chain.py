@@ -36,6 +36,7 @@ from ..core.dtypes import DType
 from ..core.tiling import ceil_div, tile_input_range
 from ..errors import CapacityError, ShapeError
 from ..gpu.counters import AccessCounters
+from ..gpu.fastpath import grid_depthwise, grid_matmul
 from ..gpu.memory import SharedMemory
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind
@@ -93,10 +94,13 @@ class FusedChainKernel(SimKernel):
 
     # ---- launch ---------------------------------------------------------------
     def grid(self) -> Sequence[tuple[int, ...]]:
-        last = self.chain.last
-        nh = ceil_div(last.out_h, self.tile_h)
-        nw = ceil_div(last.out_w, self.tile_w)
-        return [(hi, wi) for hi in range(nh) for wi in range(nw)]
+        def build() -> list[tuple[int, ...]]:
+            last = self.chain.last
+            nh = ceil_div(last.out_h, self.tile_h)
+            nw = ceil_div(last.out_w, self.tile_w)
+            return [(hi, wi) for hi in range(nh) for wi in range(nw)]
+
+        return self._memo_grid(build)
 
     def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
         first = self.chain.first
@@ -116,7 +120,7 @@ class FusedChainKernel(SimKernel):
             self.make_buffer(f"w{i}_{p.spec.name}", p.weights, "weights", counters)
             for i, p in enumerate(self.stages)
         ]
-        out = np.zeros(self.chain.last.ofm.shape, dtype=self.dtype.np_dtype)
+        out = self._fresh_output(self.chain.last.ofm.shape, self.dtype.np_dtype)
         self._out = self.make_buffer("ofm", out, "ofm", counters)
         self._counters = counters
 
@@ -227,6 +231,136 @@ class FusedChainKernel(SimKernel):
                 cur = shared.read(slot)
                 cur_origin = (o_lo_r, o_lo_q)
                 prev_slot = slot
+
+    def _axis_extents(self, vertical: bool) -> list[list[int]]:
+        """Per-boundary clamped extents along one axis, one entry per tile.
+
+        ``out[b][t]`` is the row (or column) extent of boundary ``b``'s
+        window in tile ``t`` — the same backward composition
+        :meth:`_block_ranges` performs, but separable per axis because
+        :func:`~repro.core.tiling.tile_input_range` composes rows and
+        columns independently.
+        """
+        last = self.chain.last
+        total = last.out_h if vertical else last.out_w
+        tile = self.tile_h if vertical else self.tile_w
+        per_tile: list[list[tuple[int, int]]] = []
+        for t0 in range(0, total, tile):
+            rng = (t0, min(t0 + tile, total))
+            per = [rng]
+            for spec in reversed(self.chain.specs):
+                in_size = spec.in_h if vertical else spec.in_w
+                rng = tile_input_range(
+                    rng[0], rng[1] - rng[0], spec.kernel, spec.stride,
+                    spec.padding, in_size,
+                )
+                per.append(rng)
+            per.reverse()
+            per_tile.append(per)
+        n_bounds = len(self.chain.specs) + 1
+        return [
+            [per[b][1] - per[b][0] for per in per_tile] for b in range(n_bounds)
+        ]
+
+    def run_grid(self) -> int:
+        """Whole-grid fast path: the chain as N full-tensor stage passes.
+
+        Bulk charges come from the separable per-axis window extents every
+        interpreted block derives with :meth:`_block_ranges`: stage weights
+        stream once per spatial tile (a final PW streams per filter group,
+        summing to the same total), intermediate commBuffers see one write
+        plus one read each (plus the final PW's per-group re-reads), and the
+        halo-extended stage extents reproduce the redundant compute that
+        :meth:`finalize` later reclassifies.
+        """
+        specs = self.chain.specs
+        n = len(specs)
+        eb = self.dtype.nbytes
+        rows = self._axis_extents(vertical=True)
+        cols = self._axis_extents(vertical=False)
+        sum_r = [sum(r) for r in rows]
+        sum_c = [sum(c) for c in cols]
+        n_sp = len(rows[0]) * len(cols[0])
+        in_b = 1 if specs[0].kind is ConvKind.POINTWISE else 0
+        last = self.chain.last
+        n_groups = (
+            ceil_div(last.out_channels, self.tile_m)
+            if last.kind is ConvKind.POINTWISE
+            else 0
+        )
+        ctr = self._counters
+        ctr.read_bulk("ifm", specs[0].in_channels * sum_r[in_b] * sum_c[in_b] * eb)
+        for i, spec in enumerate(specs):
+            if spec.kind is ConvKind.DEPTHWISE:
+                per_block_w = spec.out_channels * spec.kernel * spec.kernel
+                stage_macs = (
+                    spec.out_channels * spec.kernel * spec.kernel
+                    * sum_r[i + 1] * sum_c[i + 1]
+                )
+            else:
+                per_block_w = spec.out_channels * spec.in_channels
+                stage_macs = (
+                    spec.out_channels * spec.in_channels * sum_r[i + 1] * sum_c[i + 1]
+                )
+            ctr.read_bulk("weights", per_block_w * eb, n_sp)
+            ctr.compute(stage_macs)
+        ctr.write_bulk("ofm", last.out_channels * sum_r[n] * sum_c[n] * eb)
+        # commBuffer traffic: slot i (stage i's output window) is written
+        # once and read once when consumed; a final PW re-reads the last
+        # slot once per extra filter group.
+        comm_totals = [
+            specs[i].out_channels * sum_r[i + 1] * sum_c[i + 1] * eb
+            for i in range(n - 1)
+        ]
+        for total in comm_totals:
+            ctr.smem_bulk(2 * total)
+        if n_groups > 1:
+            ctr.smem_bulk((n_groups - 1) * comm_totals[-1])
+
+        # Peak shared bytes: walk every block's alloc/free timeline (sizes
+        # are per-axis products, so this is integer-only and tiny).
+        peak = 0
+        for hi in range(len(rows[0])):
+            for wi in range(len(cols[0])):
+                sizes = [
+                    specs[i].out_channels * rows[i + 1][hi] * cols[i + 1][wi] * eb
+                    for i in range(n - 1)
+                ]
+                block_peak = sizes[0]
+                for a, b in zip(sizes, sizes[1:]):
+                    block_peak = max(block_peak, a + b)
+                peak = max(peak, block_peak)
+
+        # Functional pass: every stage over its full tensor.
+        acc_t = self.dtype.acc_dtype
+        cur = self._ifm.array
+        for i, (params, spec) in enumerate(zip(self.stages, specs)):
+            if spec.kind is ConvKind.DEPTHWISE:
+                acc = grid_depthwise(
+                    window=cur,
+                    weights=self._weights[i].array,
+                    rows_out=spec.out_h,
+                    cols_out=spec.out_w,
+                    row_off=spec.padding,
+                    col_off=spec.padding,
+                    kernel=spec.kernel,
+                    stride=spec.stride,
+                    acc_dtype=acc_t,
+                )
+                cur = params.epilogue.apply(acc, 0, spec.out_channels, self.dtype)
+            else:
+                # A first PW reads the pre-subsampled view bound at stride 1.
+                pw_stride = 1 if i == 0 and in_b == 1 else spec.stride
+                x = cur if pw_stride == 1 else cur[:, ::pw_stride, ::pw_stride]
+                acc = grid_matmul(
+                    self._weights[i].array,
+                    np.ascontiguousarray(x).reshape(spec.in_channels, -1),
+                    acc_t,
+                )
+                cur = params.epilogue.apply(acc, 0, spec.out_channels, self.dtype)
+                cur = cur.reshape(spec.out_channels, spec.out_h, spec.out_w)
+        self._out.array[...] = cur
+        return peak
 
     def output_array(self) -> np.ndarray:
         return self._out.array

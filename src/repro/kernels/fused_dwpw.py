@@ -24,6 +24,7 @@ from ..core.dtypes import DType
 from ..core.tiling import ceil_div, input_extent, tile_input_range
 from ..errors import CapacityError, ShapeError, UnsupportedError
 from ..gpu.counters import AccessCounters
+from ..gpu.fastpath import axis_window_extents, grid_depthwise, grid_matmul
 from ..gpu.memory import SharedMemory
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind
@@ -99,9 +100,12 @@ class DwPwFusedKernel(SimKernel):
 
     # ---- launch ------------------------------------------------------------------
     def grid(self) -> Sequence[tuple[int, ...]]:
-        nh = ceil_div(self.dw.spec.out_h, self.tile_h)
-        nw = ceil_div(self.dw.spec.out_w, self.tile_w)
-        return [(hi, wi) for hi in range(nh) for wi in range(nw)]
+        def build() -> list[tuple[int, ...]]:
+            nh = ceil_div(self.dw.spec.out_h, self.tile_h)
+            nw = ceil_div(self.dw.spec.out_w, self.tile_w)
+            return [(hi, wi) for hi in range(nh) for wi in range(nw)]
+
+        return self._memo_grid(build)
 
     def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
         if ifm.shape != self.dw.spec.ifm.shape:
@@ -109,7 +113,7 @@ class DwPwFusedKernel(SimKernel):
         self._ifm = self.make_buffer("ifm", ifm, "ifm", counters)
         self._dw_w = self.make_buffer("dw_weights", self.dw.weights, "weights", counters)
         self._pw_w = self.make_buffer("pw_weights", self.pw.weights, "weights", counters)
-        out = np.zeros(self.pw.spec.ofm.shape, dtype=self.dtype.np_dtype)
+        out = self._fresh_output(self.pw.spec.ofm.shape, self.dtype.np_dtype)
         self._out = self.make_buffer("ofm", out, "ofm", counters)
         self._counters = counters
 
@@ -162,6 +166,53 @@ class DwPwFusedKernel(SimKernel):
                 y.reshape(m1 - m0, nr, nc),
             )
             self._counters.compute((m1 - m0) * c * nr * nc)
+
+    def run_grid(self) -> int:
+        """Whole-grid fast path: full DW pass, then one PW matmul.
+
+        Bulk charges: both weight tensors stream once per spatial tile, the
+        IFM loads with separable clamped halo windows, the commBuffer sees
+        one write plus one read per filter group per block (slot bytes equal
+        the block's actual intermediate tile).
+        """
+        spec_dw, spec_pw = self.dw.spec, self.pw.spec
+        k, s, pad = spec_dw.kernel, spec_dw.stride, spec_dw.padding
+        eb = self.dtype.nbytes
+        c_mid = spec_dw.out_channels
+        m_all = spec_pw.out_channels
+        oh, ow = spec_dw.out_h, spec_dw.out_w
+        nh = ceil_div(oh, self.tile_h)
+        nw = ceil_div(ow, self.tile_w)
+        n_groups = ceil_div(m_all, self.tile_m)
+        wh = axis_window_extents(oh, self.tile_h, k, s, pad, spec_dw.in_h)
+        ww = axis_window_extents(ow, self.tile_w, k, s, pad, spec_dw.in_w)
+        ctr = self._counters
+        ctr.read_bulk("ifm", spec_dw.in_channels * sum(wh) * sum(ww) * eb)
+        ctr.read_bulk("weights", (c_mid * k * k + m_all * c_mid) * eb, nh * nw)
+        ctr.write_bulk("ofm", m_all * oh * ow * eb)
+        # commBuffer slots sum to the full intermediate across the grid.
+        ctr.smem_bulk((1 + n_groups) * c_mid * oh * ow * eb)
+        ctr.compute(c_mid * oh * ow * k * k)
+        ctr.compute(m_all * c_mid * oh * ow)
+
+        acc = grid_depthwise(
+            window=self._ifm.array,
+            weights=self._dw_w.array,
+            rows_out=oh,
+            cols_out=ow,
+            row_off=pad,
+            col_off=pad,
+            kernel=k,
+            stride=s,
+            acc_dtype=self.dtype.acc_dtype,
+        )
+        interm = self.dw.epilogue.apply(acc, 0, c_mid, self.dtype)
+        acc2 = grid_matmul(
+            self._pw_w.array, interm.reshape(c_mid, oh * ow), self.dtype.acc_dtype
+        )
+        y = self.pw.epilogue.apply(acc2, 0, m_all, self.dtype)
+        self._out.array[...] = y.reshape(m_all, oh, ow)
+        return self.comm_buffer_bytes()  # block (0, 0) holds the full tile
 
     def output_array(self) -> np.ndarray:
         return self._out.array

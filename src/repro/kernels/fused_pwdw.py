@@ -27,6 +27,7 @@ from ..core.dtypes import DType
 from ..core.tiling import ceil_div
 from ..errors import CapacityError, ShapeError
 from ..gpu.counters import AccessCounters
+from ..gpu.fastpath import grid_depthwise, grid_matmul
 from ..gpu.memory import SharedMemory
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind
@@ -88,7 +89,12 @@ class PwDwFusedKernel(SimKernel):
 
     # ---- launch -----------------------------------------------------------------
     def grid(self) -> Sequence[tuple[int, ...]]:
-        return [(fi,) for fi in range(ceil_div(self.pw.spec.out_channels, self.tile_f))]
+        def build() -> list[tuple[int, ...]]:
+            return [
+                (fi,) for fi in range(ceil_div(self.pw.spec.out_channels, self.tile_f))
+            ]
+
+        return self._memo_grid(build)
 
     def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
         if ifm.shape != self.pw.spec.ifm.shape:
@@ -98,7 +104,7 @@ class PwDwFusedKernel(SimKernel):
         self._ifm = self.make_buffer("ifm", x, "ifm", counters)
         self._pw_w = self.make_buffer("pw_weights", self.pw.weights, "weights", counters)
         self._dw_w = self.make_buffer("dw_weights", self.dw.weights, "weights", counters)
-        out = np.zeros(self.dw.spec.ofm.shape, dtype=self.dtype.np_dtype)
+        out = self._fresh_output(self.dw.spec.ofm.shape, self.dtype.np_dtype)
         self._out = self.make_buffer("ofm", out, "ofm", counters)
         self._counters = counters
 
@@ -142,6 +148,44 @@ class PwDwFusedKernel(SimKernel):
         y = self.dw.epilogue.apply(acc2, f0, f1, self.dtype)
         self._out.store((slice(f0, f1), slice(None), slice(None)), y)
         self._counters.compute(nf * spec_dw.out_h * spec_dw.out_w * k * k)
+
+    def run_grid(self) -> int:
+        """Whole-grid fast path: one PW matmul, then a full DW pass.
+
+        Bulk charges: the whole PW input re-streams once per channel group,
+        each weight tensor is read exactly once across the grid, and every
+        block moves its (fixed-size, ``tile_f``-padded) commBuffer slot
+        through shared memory twice — one write, one read.
+        """
+        spec_pw, spec_dw = self.pw.spec, self.dw.spec
+        eb = self.dtype.nbytes
+        c_in, c_mid = spec_pw.in_channels, spec_pw.out_channels
+        h, w = spec_pw.out_h, spec_pw.out_w
+        k = spec_dw.kernel
+        n_f = ceil_div(c_mid, self.tile_f)
+        ctr = self._counters
+        ctr.read_bulk("ifm", c_in * h * w * eb, n_f)
+        ctr.read_bulk("weights", c_mid * (c_in + k * k) * eb)
+        ctr.write_bulk("ofm", c_mid * spec_dw.out_h * spec_dw.out_w * eb)
+        ctr.smem_bulk(2 * self.tile_f * h * w * eb, n_f)
+        ctr.compute(c_mid * c_in * h * w)
+        ctr.compute(c_mid * spec_dw.out_h * spec_dw.out_w * k * k)
+
+        acc = grid_matmul(self._pw_w.array, self._ifm.array, self.dtype.acc_dtype)
+        interm = self.pw.epilogue.apply(acc, 0, c_mid, self.dtype).reshape(c_mid, h, w)
+        acc2 = grid_depthwise(
+            window=interm,
+            weights=self._dw_w.array,
+            rows_out=spec_dw.out_h,
+            cols_out=spec_dw.out_w,
+            row_off=spec_dw.padding,
+            col_off=spec_dw.padding,
+            kernel=k,
+            stride=spec_dw.stride,
+            acc_dtype=self.dtype.acc_dtype,
+        )
+        self._out.array[...] = self.dw.epilogue.apply(acc2, 0, c_mid, self.dtype)
+        return self.comm_buffer_bytes()  # every block allocs the full slot
 
     def output_array(self) -> np.ndarray:
         return self._out.array

@@ -22,6 +22,7 @@ from ..core.dtypes import DType
 from ..core.tiling import ceil_div
 from ..errors import CapacityError, ShapeError, UnsupportedError
 from ..gpu.counters import AccessCounters
+from ..gpu.fastpath import grid_matmul
 from ..gpu.memory import SharedMemory
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind
@@ -90,7 +91,10 @@ class PwPwFusedKernel(SimKernel):
 
     # ---- launch -------------------------------------------------------------------
     def grid(self) -> Sequence[tuple[int, ...]]:
-        return [(si,) for si in range(ceil_div(self.out_hw, self.tile_hw))]
+        def build() -> list[tuple[int, ...]]:
+            return [(si,) for si in range(ceil_div(self.out_hw, self.tile_hw))]
+
+        return self._memo_grid(build)
 
     def bind(self, ifm: np.ndarray, counters: AccessCounters) -> None:
         if ifm.shape != self.pw1.spec.ifm.shape:
@@ -100,7 +104,9 @@ class PwPwFusedKernel(SimKernel):
         self._ifm = self.make_buffer("ifm", x, "ifm", counters)
         self._w1 = self.make_buffer("pw1_weights", self.pw1.weights, "weights", counters)
         self._w2 = self.make_buffer("pw2_weights", self.pw2.weights, "weights", counters)
-        out = np.zeros((self.pw2.spec.out_channels, self.out_hw), dtype=self.dtype.np_dtype)
+        out = self._fresh_output(
+            (self.pw2.spec.out_channels, self.out_hw), self.dtype.np_dtype
+        )
         self._out = self.make_buffer("ofm", out, "ofm", counters)
         self._counters = counters
 
@@ -133,6 +139,37 @@ class PwPwFusedKernel(SimKernel):
             y = self.pw2.epilogue.apply(w2_tile.astype(acc_t) @ xi, m0, m1, self.dtype)
             self._out.store((slice(m0, m1), slice(p0, p1)), y)
             self._counters.compute((m1 - m0) * cmid * np_pix)
+
+    def run_grid(self) -> int:
+        """Whole-grid fast path: two back-to-back full matmuls.
+
+        Bulk charges: PW1's full weight matrix plus PW2's grouped streams
+        per spatial tile, the IFM read exactly once, one commBuffer write
+        plus one read per filter group per block (fixed ``tile_hw`` slot).
+        """
+        spec1, spec2 = self.pw1.spec, self.pw2.spec
+        eb = self.dtype.nbytes
+        c_in, c_mid = spec1.in_channels, spec1.out_channels
+        m_all = spec2.out_channels
+        ns = ceil_div(self.out_hw, self.tile_hw)
+        n_groups = ceil_div(m_all, self.tile_m)
+        ctr = self._counters
+        ctr.read_bulk("ifm", c_in * self.out_hw * eb)
+        ctr.read_bulk("weights", (c_mid * c_in + m_all * c_mid) * eb, ns)
+        ctr.write_bulk("ofm", m_all * self.out_hw * eb)
+        ctr.smem_bulk((1 + n_groups) * c_mid * self.tile_hw * eb, ns)
+        ctr.compute(c_mid * c_in * self.out_hw)
+        ctr.compute(m_all * c_mid * self.out_hw)
+
+        acc_t = self.dtype.acc_dtype
+        interm = self.pw1.epilogue.apply(
+            grid_matmul(self._w1.array, self._ifm.array, acc_t), 0, c_mid, self.dtype
+        )
+        y = self.pw2.epilogue.apply(
+            grid_matmul(self._w2.array, interm, acc_t), 0, m_all, self.dtype
+        )
+        self._out.array[...] = y
+        return self.comm_buffer_bytes()  # every block allocs the full slot
 
     def output_array(self) -> np.ndarray:
         return self._out.array.reshape(

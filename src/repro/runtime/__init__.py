@@ -3,7 +3,14 @@
 from .glue import apply_glue, glue_counters
 from .network_params import NetworkParams, materialize_network
 from .profiler import Comparison, compare, profile_table
-from .session import InferenceSession, SessionReport, StepRecord, TvmSession
+from .session import (
+    InferenceSession,
+    SessionReport,
+    StepRecord,
+    TvmSession,
+    build_session,
+    seeded_input,
+)
 
 __all__ = [
     "apply_glue",
@@ -17,4 +24,6 @@ __all__ = [
     "SessionReport",
     "StepRecord",
     "TvmSession",
+    "build_session",
+    "seeded_input",
 ]

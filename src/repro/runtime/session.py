@@ -27,6 +27,7 @@ from ..core.dtypes import DType
 from ..errors import PlanError, ShapeError
 from ..gpu.counters import AccessCounters
 from ..gpu.energy import energy_of
+from ..gpu.fastpath import DEFAULT_ENGINE, resolve_engine
 from ..gpu.roofline import KernelTiming, time_kernel
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
@@ -37,7 +38,14 @@ from ..planner.plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
 from .glue import apply_glue, glue_counters
 from .network_params import NetworkParams, materialize_network
 
-__all__ = ["StepRecord", "SessionReport", "InferenceSession", "TvmSession"]
+__all__ = [
+    "StepRecord",
+    "SessionReport",
+    "InferenceSession",
+    "TvmSession",
+    "build_session",
+    "seeded_input",
+]
 
 #: cuDNN efficiency knobs applied to standard-conv steps in *both* runtimes.
 _STD_ALGO = CudnnAlgo.IMPLICIT_PRECOMP_GEMM
@@ -129,7 +137,14 @@ def _record(
 
 
 class InferenceSession:
-    """Execute a FusePlanner :class:`ExecutionPlan` end to end."""
+    """Execute a FusePlanner :class:`ExecutionPlan` end to end.
+
+    ``engine`` selects how DW/PW simulated kernels execute: ``"fast"``
+    (default) runs each grid as one vectorized pass with bulk counter
+    accounting, ``"reference"`` interprets block by block.  Reports are
+    identical down to the counters; only wall-clock differs.  Per-call
+    ``engine=`` arguments override the session default.
+    """
 
     def __init__(
         self,
@@ -137,11 +152,13 @@ class InferenceSession:
         plan: ExecutionPlan,
         params: NetworkParams | None = None,
         seed: int = 0,
+        engine: str = DEFAULT_ENGINE,
     ) -> None:
         self.graph = graph
         self.plan = plan
         self.gpu = plan.gpu
         self.dtype = plan.dtype
+        self.engine = resolve_engine(engine)
         self.params = params if params is not None else materialize_network(
             graph, plan.dtype, seed
         )
@@ -149,8 +166,9 @@ class InferenceSession:
             raise PlanError("network params precision differs from the plan's")
 
     # ---- functional execution -------------------------------------------------
-    def run(self, input_array: np.ndarray) -> SessionReport:
+    def run(self, input_array: np.ndarray, engine: str | None = None) -> SessionReport:
         """Run real tensors through the simulated kernels per the plan."""
+        engine = self.engine if engine is None else resolve_engine(engine)
         report = SessionReport(self.plan.model_name, self.gpu, self.dtype)
         values: dict[str, np.ndarray] = {}
 
@@ -167,7 +185,7 @@ class InferenceSession:
                     step.tiling,
                     step.fcm_type,
                 )
-                res = kernel.simulate(input_of(step.specs[0].name), self.gpu)
+                res = kernel.simulate(input_of(step.specs[0].name), self.gpu, engine)
                 values[step.specs[-1].name] = res.output
                 report.records.append(
                     _record(
@@ -177,7 +195,7 @@ class InferenceSession:
                 )
             elif isinstance(step, LblStep):
                 kernel = build_lbl_kernel(self.params[step.spec.name], step.tiling)
-                res = kernel.simulate(input_of(step.spec.name), self.gpu)
+                res = kernel.simulate(input_of(step.spec.name), self.gpu, engine)
                 values[step.spec.name] = res.output
                 report.records.append(
                     _record(step.spec.name, "lbl", res.counters, self.gpu,
@@ -213,7 +231,9 @@ class InferenceSession:
         return names[-1]
 
     # ---- batched execution ------------------------------------------------------
-    def run_batch(self, batch_input: np.ndarray) -> SessionReport:
+    def run_batch(
+        self, batch_input: np.ndarray, engine: str | None = None
+    ) -> SessionReport:
         """Run a stack of inputs (leading batch dim) through batched launches.
 
         Per step the whole batch goes through one kernel launch: per-image
@@ -222,6 +242,7 @@ class InferenceSession:
         :meth:`~repro.gpu.counters.AccessCounters.batched`).  Outputs are
         numerically identical to running each image through :meth:`run`.
         """
+        engine = self.engine if engine is None else resolve_engine(engine)
         if batch_input.ndim != 4:
             raise ShapeError(
                 f"run_batch expects (batch, C, H, W), got shape {batch_input.shape}"
@@ -245,7 +266,9 @@ class InferenceSession:
                     step.tiling,
                     step.fcm_type,
                 )
-                res = kernel.simulate_batch(input_of(step.specs[0].name), self.gpu)
+                res = kernel.simulate_batch(
+                    input_of(step.specs[0].name), self.gpu, engine
+                )
                 values[step.specs[-1].name] = res.output
                 report.records.append(
                     _record(
@@ -255,7 +278,7 @@ class InferenceSession:
                 )
             elif isinstance(step, LblStep):
                 kernel = build_lbl_kernel(self.params[step.spec.name], step.tiling)
-                res = kernel.simulate_batch(input_of(step.spec.name), self.gpu)
+                res = kernel.simulate_batch(input_of(step.spec.name), self.gpu, engine)
                 values[step.spec.name] = res.output
                 report.records.append(
                     _record(step.spec.name, "lbl", res.counters, self.gpu,
@@ -377,6 +400,46 @@ class InferenceSession:
                     _record(step.spec.name, "glue", counters, self.gpu, self.dtype)
                 )
         return report
+
+
+def build_session(
+    model: str,
+    gpu: GpuSpec,
+    dtype: DType = DType.FP32,
+    *,
+    max_chain: int = 2,
+    seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
+) -> InferenceSession:
+    """Plan ``model`` on ``gpu`` and materialize a ready session.
+
+    The build-graph -> plan -> materialize -> session scaffold every
+    functional entry point needs (CLI ``run``, ``make profile``, the engine
+    benches); keep them on this one helper so the setup can't drift apart.
+    """
+    from ..models.zoo import build_model
+    from ..planner.planner import FusePlanner
+
+    graph = build_model(model, dtype)
+    plan = FusePlanner(gpu, max_chain=max_chain).plan(graph)
+    params = materialize_network(graph, dtype, seed)
+    return InferenceSession(graph, plan, params, engine=engine)
+
+
+def seeded_input(graph: ModelGraph, dtype: DType, seed: int = 0, batch: int = 1) -> np.ndarray:
+    """Deterministic random input matching the graph's first layer.
+
+    ``batch > 1`` prepends a batch dimension (for :meth:`InferenceSession.
+    run_batch`); INT8 graphs get full-range int8 samples, FP32 standard
+    normals.
+    """
+    shape = next(iter(graph.topological())).ifm.shape
+    if batch > 1:
+        shape = (batch,) + shape
+    rng = np.random.default_rng(seed)
+    if dtype is DType.INT8:
+        return rng.integers(-128, 128, shape).astype(np.int8)
+    return rng.standard_normal(shape).astype(np.float32)
 
 
 class TvmSession:

@@ -263,6 +263,7 @@ class Fleet:
         sleep: Callable[[float], None] = time.sleep,
         db=None,
         calibration=None,
+        engine: str | None = None,
     ) -> None:
         if not gpus:
             raise PlanError("a fleet needs at least one GPU")
@@ -287,6 +288,7 @@ class Fleet:
                     sleep=sleep,
                     db=db,
                     calibration=calibration,
+                    engine=engine,
                 ),
             )
             for i, gpu in enumerate(gpus)

@@ -130,13 +130,15 @@ def replay(
     server: ModelServer | None = None,
     db=None,
     calibration=None,
+    engine: str | None = None,
 ) -> StreamReport:
     """Replay a synthetic stream and report throughput + latency percentiles.
 
     Builds a fresh :class:`ModelServer` on a :class:`FakeClock` (pass
     ``server`` to reuse one — it must have been constructed with a FakeClock
     as both ``clock`` and ``sleep``).  Requests are analytic (counters-only),
-    so full-size models replay in milliseconds.
+    so full-size models replay in milliseconds; ``engine`` is threaded to the
+    server for streams that carry real tensors.
     """
     clock = FakeClock()
     if server is None:
@@ -149,6 +151,7 @@ def replay(
             sleep=clock.sleep,
             db=db,
             calibration=calibration,
+            engine=engine,
         )
     elif isinstance(server.clock, FakeClock):
         clock = server.clock
@@ -297,6 +300,7 @@ def fleet_replay(
     fleet: Fleet | None = None,
     db=None,
     calibration=None,
+    engine: str | None = None,
 ) -> FleetStreamReport:
     """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
 
@@ -324,6 +328,7 @@ def fleet_replay(
             sleep=clock.sleep,
             db=db,
             calibration=calibration,
+            engine=engine,
         )
     elif isinstance(fleet.clock, FakeClock):
         clock = fleet.clock

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.dtypes import DType
 from ..errors import PlanError, ShapeError
+from ..gpu.fastpath import resolve_engine
 from ..gpu.specs import GpuSpec
 from ..runtime.session import SessionReport
 from .cache import CacheStats, PlanCache, PlanKey
@@ -99,6 +100,7 @@ class ModelServer:
         sleep: Callable[[float], None] = time.sleep,
         db=None,
         calibration=None,
+        engine: str | None = None,
     ) -> None:
         if max_batch < 1:
             raise PlanError(f"max_batch must be >= 1, got {max_batch}")
@@ -108,6 +110,9 @@ class ModelServer:
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.convention = convention
+        #: execution engine every functional batch runs on (None -> "fast";
+        #: "reference" keeps the per-block interpreted launches).
+        self.engine = resolve_engine(engine)
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
         self.max_chain = max_chain
@@ -142,7 +147,7 @@ class ModelServer:
         cached = self.cache.get(
             model, dtype, self.gpu, self.convention, self.max_chain
         )
-        report = cached.session.run_batch(inputs)
+        report = cached.session.run_batch(inputs, engine=self.engine)
         self._account(report)
         self.stats.requests += inputs.shape[0]
         return report
@@ -330,7 +335,9 @@ class ModelServer:
             first.model, first.dtype, self.gpu, self.convention, self.max_chain
         )
         if first.input is not None:
-            report = cached.session.run_batch(np.stack([r.input for r in batch]))
+            report = cached.session.run_batch(
+                np.stack([r.input for r in batch]), engine=self.engine
+            )
         else:
             report = cached.analytic_report(len(batch))
         self._account(report)

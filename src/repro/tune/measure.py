@@ -132,14 +132,20 @@ def simulated_kernel_cost_s(
     dtype: DType,
     tiling: dict[str, int] | None = None,
     seed: int = 0,
+    engine: str | None = None,
 ) -> float:
     """Hardware-in-the-loop variant: run the actual simulated kernel grid.
 
     Materializes deterministic parameters for the step's layer(s), builds the
     kernel through the registry, streams a seeded random IFM through the
-    instrumented launch and prices the metered counters — the slow path the
-    counter backend reproduces byte-for-byte.
+    instrumented launch and prices the metered counters — by default on the
+    vectorized ``"fast"`` engine, whose counters are bit-identical to the
+    per-block ``"reference"`` launch (so the measured cost is the same and
+    the tuning loop stops paying the interpreter tax per candidate).
     """
+    from ..gpu.fastpath import resolve_engine
+
+    engine = resolve_engine(engine)
     if not isinstance(step, (LblStep, ChainStep)):
         raise TuneError("only DW/PW (LBL or fused) steps have simulated kernels")
     t = tiling if tiling is not None else step.tiling
@@ -157,7 +163,7 @@ def simulated_kernel_cost_s(
         ifm = rng.integers(-128, 128, shape).astype(np.int8)
     else:
         ifm = rng.standard_normal(shape).astype(np.float32)
-    return kernel.simulate(ifm, gpu).time_s
+    return kernel.simulate(ifm, gpu, engine).time_s
 
 
 def _step_geometry(step: PlanStep) -> tuple:
@@ -189,12 +195,14 @@ def tune_step_tiling(
     iterations: int = 20,
     seed: int = 0,
     backend: str = "counters",
+    engine: str | None = None,
 ) -> tuple[dict[str, int], float, int]:
     """Search one step's feasible tiling grid by *observed* cost.
 
     Returns ``(tiling, measured_cost_s, candidates_evaluated)``.  Steps
     without a tiling vocabulary (std/glue) are measured as-is with one
-    evaluation.
+    evaluation.  ``engine`` selects the execution engine of the ``"kernel"``
+    backend (fast by default; ignored by the counter backend).
     """
     if mode not in MODES:
         raise TuneError(f"unknown search mode {mode!r}; choose from {MODES}")
@@ -215,7 +223,7 @@ def tune_step_tiling(
         k = tuple(sorted(t.items()))
         if k not in memo:
             if backend == "kernel":
-                memo[k] = simulated_kernel_cost_s(step, gpu, dtype, t, seed)
+                memo[k] = simulated_kernel_cost_s(step, gpu, dtype, t, seed, engine)
             else:
                 memo[k] = measured_step_cost_s(step, gpu, dtype, t)
         return memo[k]
@@ -290,6 +298,7 @@ def measure_model(
     iterations: int = 20,
     seed: int = 0,
     backend: str = "counters",
+    engine: str | None = None,
 ) -> ModelMeasurement:
     """Plan one model, measure every step, tune tilings, persist records.
 
@@ -297,7 +306,12 @@ def measure_model(
     geometry* (repeated identical blocks share a record; the best-measured
     one wins) plus one model-level record (family ``"model"``, geometry
     ``(model, max_chain)``) that the serving warm-start path replays.
+    Every record carries its measurement provenance: ``"analytic"`` for the
+    counter backend, else the execution engine the kernel backend ran on.
     """
+    from ..gpu.fastpath import resolve_engine
+
+    record_engine = "analytic" if backend == "counters" else resolve_engine(engine)
     graph = build_model(model, dtype)
     plan = FusePlanner(gpu, convention, max_chain=max_chain).plan(graph)
     session = InferenceSession(
@@ -320,7 +334,7 @@ def measure_model(
         if (family, geometry) not in searched:
             result = tune_step_tiling(
                 step, gpu, dtype, mode=mode, iterations=iterations, seed=seed,
-                backend=backend,
+                backend=backend, engine=engine,
             )
             searched[(family, geometry)] = result
             evaluated_total += result[2]  # measurements actually performed
@@ -343,6 +357,7 @@ def measure_model(
                 gma_bytes=_step_gma_bytes(step, dtype),
                 evaluated=evaluated,
                 seed=seed,
+                engine=record_engine,
             )
         )
 
@@ -364,6 +379,7 @@ def measure_model(
             gma_bytes=report.total_gma_bytes,
             evaluated=evaluated_total,
             seed=seed,
+            engine=record_engine,
         )
     )
     return ModelMeasurement(
@@ -392,6 +408,8 @@ def tune_models(
     mode: str = "guided",
     iterations: int = 20,
     seed: int = 0,
+    backend: str = "counters",
+    engine: str | None = None,
 ) -> tuple[TuningDB, list[ModelMeasurement]]:
     """Measure every (model, GPU) combination into one DB (CLI ``tune run``)."""
     db = db if db is not None else TuningDB()
@@ -402,7 +420,7 @@ def tune_models(
                 measure_model(
                     model, gpu, dtype, db=db, convention=convention,
                     max_chain=max_chain, mode=mode, iterations=iterations,
-                    seed=seed,
+                    seed=seed, backend=backend, engine=engine,
                 )
             )
     return db, out

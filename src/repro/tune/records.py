@@ -128,7 +128,11 @@ class TuningRecord:
     ``tiling`` / ``tuned_cost_s`` describe the best tiling the measurement
     search found (identical to the planner's when the analytic model already
     ranked candidates correctly), and ``evaluated`` is the search budget
-    actually spent.
+    actually spent.  ``engine`` records the measurement's provenance: the
+    analytic counter backend (``"analytic"``, the default — also assumed for
+    records written before the field existed) or, for kernel-in-the-loop
+    measurements, which execution engine ran the simulated grid (``"fast"``
+    / ``"reference"``).
     """
 
     key: TuningKey
@@ -139,6 +143,7 @@ class TuningRecord:
     gma_bytes: int
     evaluated: int
     seed: int = 0
+    engine: str = "analytic"
 
     @property
     def ratio(self) -> float:
@@ -156,6 +161,7 @@ class TuningRecord:
             "gma_bytes": int(self.gma_bytes),
             "evaluated": int(self.evaluated),
             "seed": int(self.seed),
+            "engine": str(self.engine),
         }
 
     @classmethod
@@ -177,6 +183,10 @@ class TuningRecord:
                 gma_bytes=int(obj["gma_bytes"]),
                 evaluated=int(obj["evaluated"]),
                 seed=int(obj["seed"]),
+                # Provenance field added after v1 records shipped: absent
+                # means the analytic counter backend, so old DBs stay
+                # readable without a schema bump.
+                engine=str(obj.get("engine", "analytic")),
             )
         except (KeyError, TypeError, ValueError, AttributeError) as exc:
             raise TuneError(f"malformed tuning record: {exc}") from None

@@ -1,0 +1,59 @@
+"""cProfile one end-to-end functional model run (`make profile`).
+
+Plans the model, materializes parameters, runs one warm-up inference, then
+profiles a second run and prints the top-N functions by cumulative and by
+internal time — the starting point for every simulator perf PR (this is how
+the fast-path engine's remaining hot spots were found).
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_run.py [model] [--engine fast|reference]
+                                               [--dtype fp32|int8] [--gpu RTX]
+                                               [--top 25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("model", nargs="?", default="mobilenet_v2")
+    parser.add_argument("--engine", choices=["fast", "reference"], default="fast")
+    parser.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
+    parser.add_argument("--gpu", default="RTX")
+    parser.add_argument("--top", type=int, default=25)
+    args = parser.parse_args(argv)
+
+    from repro.core.dtypes import DType
+    from repro.gpu.specs import gpu_by_name
+    from repro.runtime.session import build_session, seeded_input
+
+    dtype = DType.INT8 if args.dtype == "int8" else DType.FP32
+    session = build_session(
+        args.model, gpu_by_name(args.gpu), dtype, engine=args.engine
+    )
+    x = seeded_input(session.graph, dtype)
+
+    session.run(x)  # warm-up: BLAS threads, planner caches, allocators
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = session.run(x)
+    profiler.disable()
+
+    print(f"{report.describe()}  [engine={args.engine}]\n")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    stats.sort_stats("tottime").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
