@@ -2,11 +2,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench tune-smoke docs-check lint profile
+.PHONY: test test-slo bench-smoke bench tune-smoke docs-check lint profile
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## just the SLO traffic-layer suite (fast iteration on serve/admission/autoscale)
+test-slo:
+	$(PYTHON) -m pytest tests/test_slo.py -q
 
 ## quick serving + fleet + tuning + one-figure artifact pass (no full fig10
 ## sweep); emits BENCH_smoke.json so the bench trajectory accumulates in CI
@@ -16,6 +20,7 @@ bench-smoke:
 	    benchmarks/bench_table2_fusion_cases.py \
 	    benchmarks/bench_fleet_scaling.py \
 	    benchmarks/bench_kernel_simulation.py \
+	    benchmarks/bench_slo.py \
 	    benchmarks/bench_tuning.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 

@@ -1,0 +1,71 @@
+"""SLO attainment under overload: the serving stack's traffic-layer smoke.
+
+Not a paper artifact — this tracks the SLO-aware serving layer end to end:
+a heavy-tailed (lognormal) stream replayed at 1x/4x/16x the server's
+analytic capacity with deadline-aware flushing and degrade-to-INT8
+admission control.  The attainment/shed/degraded split per offered load
+lands in ``BENCH_smoke.json`` under ``extra_info`` so the bench trajectory
+records how admission behaviour moves as the cost model evolves.
+
+``--smoke`` (see benchmarks/conftest.py) shrinks the stream so `make
+bench-smoke` stays fast.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.gpu.specs import RTX_A4000
+from repro.serve import attainment_curve, capacity_rps
+
+MODEL = "mobilenet_v1"
+OVERLOADS = (1.0, 4.0, 16.0)
+SLO_BATCHES = 4  # SLO = this many full micro-batches of analytic work
+
+
+def test_bench_slo_attainment(benchmark, once, capsys, smoke):
+    n_requests = 64 if smoke else 192
+    max_batch = 8
+    base = capacity_rps(RTX_A4000, MODEL, max_batch=max_batch)
+    slo_s = SLO_BATCHES * max_batch / base
+
+    def sweep():
+        return attainment_curve(
+            RTX_A4000,
+            MODEL,
+            slo_s=slo_s,
+            overloads=OVERLOADS,
+            n_requests=n_requests,
+            admission="degrade",
+            arrival="lognormal",
+            max_batch=max_batch,
+            seed=7,
+        )
+
+    points = once(benchmark, sweep)
+    with capsys.disabled():
+        print(f"\n[SLO] {MODEL} on {RTX_A4000.name}, slo={slo_s * 1e3:.3f} ms, "
+              f"{n_requests} reqs/point{' (smoke)' if smoke else ''}")
+        print(format_table(
+            ["load", "rps", "attainment", "shed", "degraded", "late",
+             "p99 ms"],
+            [[f"{p.overload:g}x", f"{p.rate_rps:.0f}", f"{p.attainment:.1%}",
+              p.shed, p.degraded, p.late, f"{p.p99_s * 1e3:.4f}"]
+             for p in points],
+        ))
+
+    benchmark.extra_info["slo_ms"] = round(slo_s * 1e3, 4)
+    benchmark.extra_info["attainment"] = {
+        f"{p.overload:g}x": round(p.attainment, 4) for p in points
+    }
+    benchmark.extra_info["shed"] = {f"{p.overload:g}x": p.shed for p in points}
+    benchmark.extra_info["degraded"] = {
+        f"{p.overload:g}x": p.degraded for p in points
+    }
+
+    # Overload must cost attainment monotonically, and the 1x point must
+    # serve the large majority of requests in time.
+    att = [p.attainment for p in points]
+    assert all(a >= b for a, b in zip(att, att[1:])), att
+    assert att[0] >= 0.5, att
+    # Admission is live: heavy overload sheds rather than serving everyone late.
+    assert points[-1].shed > 0

@@ -190,13 +190,43 @@ def _fleet_gpus(spec: str) -> list:
     return [gpu_by_name(name) for name in spec.split(",") if name]
 
 
+def _slo_kwargs(args: argparse.Namespace) -> dict:
+    """Shared --slo-ms/--admission/--arrival/--trace handling (serve/fleet)."""
+    from .serve.loadgen import read_trace
+
+    kwargs: dict = {
+        "slo_s": args.slo_ms * 1e-3 if args.slo_ms else None,
+        "admission": None if args.admission == "none" else args.admission,
+        "arrival": args.arrival or None,
+    }
+    if args.trace:
+        kwargs["trace"] = read_trace(args.trace)
+    return kwargs
+
+
+def _autoscale_policy(spec: str, cooldown_ms: float):
+    """Parse ``--autoscale MIN:MAX`` into an AutoscalePolicy (or None)."""
+    from .serve.autoscale import AutoscalePolicy
+
+    if not spec:
+        return None
+    lo, _, hi = spec.partition(":")
+    return AutoscalePolicy(
+        min_workers=int(lo),
+        max_workers=int(hi or lo),
+        cooldown_s=cooldown_ms * 1e-3,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.loadgen import fleet_replay, replay
 
     db = calibration = None
     if args.db:
         db, calibration = _load_tuning(args.db)
+    slo = _slo_kwargs(args)
     if args.gpus:
+        trace = slo.pop("trace", None)
         report = fleet_replay(
             _fleet_gpus(args.gpus),
             args.model,
@@ -207,12 +237,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay_s=args.max_delay_ms * 1e-3,
             poisson=args.poisson,
+            request_trace=trace,
+            autoscale=_autoscale_policy(args.autoscale, args.cooldown_ms),
             max_chain=args.max_chain,
             db=db,
             calibration=calibration,
             engine=args.engine,
+            **slo,
         )
     else:
+        if args.autoscale:
+            print("error: --autoscale needs a fleet (--gpus)", file=sys.stderr)
+            return 2
         report = replay(
             gpu_by_name(args.gpu),
             args.model,
@@ -226,6 +262,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             db=db,
             calibration=calibration,
             engine=args.engine,
+            **slo,
         )
     print(report.describe())
     return 0
@@ -239,6 +276,32 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
 
     dtype = _dtype(args.dtype)
     batches = [int(b) for b in args.batches.split(",")]
+    if args.slo_ms:
+        # SLO mode: sweep offered load instead of batch size and report the
+        # attainment curve per model.
+        from .serve.loadgen import attainment_curve
+
+        gpu = gpu_by_name(args.gpu)
+        overloads = [float(x) for x in args.overloads.split(",")]
+        admission = None if args.admission == "none" else args.admission
+        rows = []
+        for model in args.models.split(","):
+            for p in attainment_curve(
+                gpu, model, slo_s=args.slo_ms * 1e-3, overloads=overloads,
+                dtype=dtype, admission=admission, max_batch=max(batches),
+                max_chain=args.max_chain,
+            ):
+                rows.append([
+                    model, f"{p.overload:g}x", f"{p.rate_rps:.0f}", p.offered,
+                    f"{p.attainment:.1%}", p.shed, p.degraded, p.late,
+                    f"{p.p99_s * 1e3:.4f}",
+                ])
+        print(format_table(
+            ["model", "load", "rps", "offered", "attainment", "shed",
+             "degraded", "late", "p99 ms"],
+            rows,
+        ))
+        return 0
     if args.gpus:
         # A FakeClock keeps the sweep deterministic: simulated occupancy
         # accumulates across submits instead of decaying in real time, so
@@ -294,6 +357,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     db = calibration = None
     if args.db:
         db, calibration = _load_tuning(args.db)
+    slo = _slo_kwargs(args)
     report = fleet_replay(
         _fleet_gpus(args.gpus),
         args.models.split(","),
@@ -305,10 +369,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay_s=args.max_delay_ms * 1e-3,
         poisson=args.poisson,
+        request_trace=slo.pop("trace", None),
+        autoscale=_autoscale_policy(args.autoscale, args.cooldown_ms),
         max_chain=args.max_chain,
         trace=args.explain,
         db=db,
         calibration=calibration,
+        **slo,
     )
     print(report.describe())
     if args.explain and report.routing_trace:
@@ -444,13 +511,18 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli serve mobilenet_v2 --requests 64 --rate 5000\n"
         "  python -m repro.cli serve xception --max-batch 16 --poisson\n"
         "  python -m repro.cli serve mobilenet_v2 --gpus RTX,RTX,Orin  # fleet replay\n"
+        "  python -m repro.cli serve mobilenet_v2 --slo-ms 5 --admission degrade "
+        "--arrival lognormal\n"
+        "  python -m repro.cli serve mobilenet_v2 --trace requests.jsonl --slo-ms 5\n"
         "  python -m repro.cli serve mobilenet_v2 --engine reference  # interpreted path"
     ),
     "bench-serve": (
         "examples:\n"
         "  python -m repro.cli bench-serve\n"
         "  python -m repro.cli bench-serve --models mobilenet_v2 --batches 1,4,16\n"
-        "  python -m repro.cli bench-serve --gpus GTX,RTX  # routed through a fleet"
+        "  python -m repro.cli bench-serve --gpus GTX,RTX  # routed through a fleet\n"
+        "  python -m repro.cli bench-serve --models mobilenet_v2 --slo-ms 5 "
+        "--overloads 0.5,1,4,16  # SLO attainment curve"
     ),
     "fleet": (
         "examples:\n"
@@ -458,6 +530,8 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli fleet --gpus GTX,RTX,Orin "
         "--models mobilenet_v2,xception --explain\n"
         "  python -m repro.cli fleet --gpus RTX,RTX --policy round_robin --poisson\n"
+        "  python -m repro.cli fleet --gpus RTX --slo-ms 5 --admission degrade "
+        "--autoscale 1:4 --cooldown-ms 2\n"
         "  python -m repro.cli fleet --gpus GTX,RTX --db TUNE_zoo.json  # warm start"
     ),
     "tune": (
@@ -488,6 +562,33 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli tune export --db TUNE_zoo.json --out TUNE_canonical.json"
     ),
 }
+
+
+def _add_slo_args(p: argparse.ArgumentParser) -> None:
+    """The SLO traffic-layer flags shared by serve and fleet."""
+    p.add_argument("--slo-ms", type=float, default=0.0,
+                   help="per-request completion SLO in ms (0 = best effort); "
+                        "arms deadline-aware micro-batch flushing")
+    p.add_argument("--admission", choices=["none", "shed", "degrade"],
+                   default="none",
+                   help="admission control when the projected latency busts "
+                        "the SLO: shed rejects, degrade retries the INT8 "
+                        "plan variant first (default none)")
+    p.add_argument("--arrival",
+                   choices=["", "uniform", "poisson", "lognormal", "pareto",
+                            "diurnal"],
+                   default="",
+                   help="arrival process (overrides --poisson); lognormal/"
+                        "pareto are heavy-tailed, diurnal is rate-modulated")
+    p.add_argument("--trace", default="",
+                   help="JSONL trace file to replay instead of a synthetic "
+                        "stream (see repro.serve.loadgen.write_trace)")
+    p.add_argument("--autoscale", default="",
+                   help="reactive fleet autoscaling bounds as MIN:MAX "
+                        "workers (fleet replays only)")
+    p.add_argument("--cooldown-ms", type=float, default=0.0,
+                   help="autoscaler cooldown between resize actions in ms "
+                        "(default 0)")
 
 
 def _add_cmd(sub, name: str, fn, help_: str) -> argparse.ArgumentParser:
@@ -570,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch deadline in ms (default 2.0)")
     p.add_argument("--poisson", action="store_true",
                    help="Poisson arrivals instead of uniform spacing")
+    _add_slo_args(p)
     p.add_argument("--max-chain", type=int, default=2,
                    help="planner chain cap for served models (default 2)")
     p.add_argument("--gpus", default="",
@@ -599,6 +701,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
     p.add_argument("--max-chain", type=int, default=2,
                    help="planner chain cap for served models (default 2)")
+    p.add_argument("--slo-ms", type=float, default=0.0,
+                   help="switch to SLO mode: sweep offered load and print "
+                        "the attainment curve at this per-request SLO")
+    p.add_argument("--admission", choices=["none", "shed", "degrade"],
+                   default="degrade",
+                   help="admission policy for the SLO-mode sweep "
+                        "(default degrade)")
+    p.add_argument("--overloads", default="0.5,1,4,16",
+                   help="offered-load multiples of analytic capacity for the "
+                        "SLO-mode sweep (default 0.5,1,4,16)")
 
     p = _add_cmd(sub, "fleet", _cmd_fleet,
                  "replay a multi-model stream over a multi-GPU fleet")
@@ -625,6 +737,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", choices=["fp32", "int8"], default="fp32")
     p.add_argument("--poisson", action="store_true",
                    help="Poisson arrivals instead of uniform spacing")
+    _add_slo_args(p)
     p.add_argument("--max-chain", type=int, default=2,
                    help="planner chain cap for served models (default 2)")
     p.add_argument("--explain", action="store_true",

@@ -8,15 +8,31 @@ session -> report) into a request-serving layer:
   :meth:`PlanCache.warm_start` preloading plans from a
   :class:`repro.tune.records.TuningDB` at boot;
 * :mod:`repro.serve.server` — :class:`ModelServer` with synchronous batched
-  submits and a micro-batching request queue (flush on ``max_batch`` or
-  deadline);
+  submits and a micro-batching request queue (flush on ``max_batch``,
+  formation deadline, or a queued request's SLO slack running out);
+* :mod:`repro.serve.admission` — SLO-aware :class:`AdmissionController`
+  that sheds or degrades (to the INT8 plan variant) requests whose projected
+  latency would bust their deadline;
 * :mod:`repro.serve.fleet` — multi-GPU :class:`Fleet` of per-GPU workers
-  behind a :class:`FleetScheduler` (plan-affinity or round-robin routing);
-* :mod:`repro.serve.loadgen` — deterministic arrival streams and the
-  discrete-event :func:`replay` / :func:`fleet_replay` harnesses reporting
-  img/s and nearest-rank p50/p99 latency.
+  behind a :class:`FleetScheduler` (plan-affinity or round-robin routing),
+  elastic via :meth:`Fleet.add_worker` / :meth:`Fleet.remove_worker`;
+* :mod:`repro.serve.autoscale` — reactive :class:`Autoscaler` resizing the
+  fleet from its backlog signal, with a replayable decision trace;
+* :mod:`repro.serve.loadgen` — deterministic arrival streams (uniform,
+  Poisson, heavy-tailed lognormal/Pareto, diurnal), JSONL trace files, and
+  the discrete-event :func:`replay` / :func:`fleet_replay` harnesses
+  reporting img/s, nearest-rank p50/p99 latency, and SLO attainment
+  (:func:`attainment_curve` sweeps it against offered load).
 """
 
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+    admission_controller,
+)
+from .autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
 from .cache import CachedPlan, CacheStats, PlanCache, PlanKey
 from .fleet import (
     Fleet,
@@ -27,17 +43,37 @@ from .fleet import (
     WorkerStats,
 )
 from .loadgen import (
+    ARRIVAL_KINDS,
+    AttainmentPoint,
     FakeClock,
     FleetStreamReport,
     StreamReport,
+    TraceRequest,
+    WorkerSloStats,
     arrival_times,
+    attainment_curve,
+    capacity_rps,
+    diurnal_arrival_times,
     fleet_replay,
+    generate_arrivals,
+    lognormal_arrival_times,
+    pareto_arrival_times,
     percentile,
+    read_trace,
     replay,
+    write_trace,
 )
 from .server import InferenceRequest, InferenceResult, ModelServer, ServerStats
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "admission_controller",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ScaleEvent",
     "CachedPlan",
     "CacheStats",
     "PlanCache",
@@ -48,13 +84,25 @@ __all__ = [
     "FleetWorker",
     "RouteDecision",
     "WorkerStats",
+    "ARRIVAL_KINDS",
+    "AttainmentPoint",
     "FakeClock",
     "FleetStreamReport",
     "StreamReport",
+    "TraceRequest",
+    "WorkerSloStats",
     "arrival_times",
+    "attainment_curve",
+    "capacity_rps",
+    "diurnal_arrival_times",
     "fleet_replay",
+    "generate_arrivals",
+    "lognormal_arrival_times",
+    "pareto_arrival_times",
     "percentile",
+    "read_trace",
     "replay",
+    "write_trace",
     "InferenceRequest",
     "InferenceResult",
     "ModelServer",

@@ -1,0 +1,162 @@
+"""Reactive fleet autoscaling from backlog/occupancy signals.
+
+The :class:`Autoscaler` watches the same per-worker backlog estimate the
+fleet scheduler routes by (:meth:`FleetWorker.estimated_backlog_s`: device
+occupancy plus the analytic cost of every queued request) and resizes the
+:class:`~repro.serve.fleet.Fleet` between ``min_workers`` and
+``max_workers``:
+
+* **grow** — mean backlog per worker exceeds ``grow_backlog_s``: add one
+  worker on the policy's GPU preset (configured identically to the boot
+  workers, warm-started from the same tuning DB).
+* **shrink** — mean backlog falls below ``shrink_backlog_s`` *and* some
+  worker is idle (empty queue, device free): retire the highest-numbered
+  idle worker.  Its accounting stays in :meth:`Fleet.stats`.
+
+``cooldown_s`` rate-limits actions: after any resize the controller holds
+its size until the cooldown elapses, which damps grow/shrink oscillation on
+bursty streams.  Everything is driven by explicit :meth:`Autoscaler.observe`
+calls on the shared :class:`~repro.serve.loadgen.FakeClock`, so scaling
+decisions — like everything else in the serving layer — are deterministic
+and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+from ..gpu.specs import GpuSpec
+from .fleet import Fleet, FleetWorker
+
+__all__ = ["ScaleEvent", "AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One resize action (the autoscaler's replayable decision trace)."""
+
+    t: float
+    action: str  # "grow" | "shrink"
+    worker: str  # name of the worker added / retired
+    backlog_s: float  # mean backlog per worker that triggered the action
+    workers: int  # fleet size after the action
+
+    def describe(self) -> str:
+        return (
+            f"t={self.t * 1e3:.3f}ms {self.action} {self.worker} "
+            f"(mean backlog {self.backlog_s * 1e6:.1f}us) -> {self.workers} worker(s)"
+        )
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bindable autoscaler configuration (no fleet reference yet), so replay
+    harnesses and the CLI can describe scaling before the fleet exists."""
+
+    gpu: GpuSpec | None = None  # None -> the fleet's first worker's GPU
+    min_workers: int = 1
+    max_workers: int = 8
+    grow_backlog_s: float = 2e-3
+    shrink_backlog_s: float = 2e-4
+    cooldown_s: float = 0.0
+
+    def bind(self, fleet: Fleet) -> "Autoscaler":
+        return Autoscaler(
+            fleet,
+            gpu=self.gpu or fleet.workers[0].gpu,
+            min_workers=self.min_workers,
+            max_workers=self.max_workers,
+            grow_backlog_s=self.grow_backlog_s,
+            shrink_backlog_s=self.shrink_backlog_s,
+            cooldown_s=self.cooldown_s,
+        )
+
+
+class Autoscaler:
+    """Reactive resize controller around one fleet (see module docstring)."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        gpu: GpuSpec,
+        *,
+        min_workers: int = 1,
+        max_workers: int = 8,
+        grow_backlog_s: float = 2e-3,
+        shrink_backlog_s: float = 2e-4,
+        cooldown_s: float = 0.0,
+    ) -> None:
+        if min_workers < 1:
+            raise PlanError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers < min_workers:
+            raise PlanError(
+                f"max_workers ({max_workers}) must be >= min_workers ({min_workers})"
+            )
+        if shrink_backlog_s < 0 or grow_backlog_s <= shrink_backlog_s:
+            raise PlanError(
+                "need grow_backlog_s > shrink_backlog_s >= 0, got "
+                f"grow={grow_backlog_s}, shrink={shrink_backlog_s}"
+            )
+        if cooldown_s < 0:
+            raise PlanError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        self.fleet = fleet
+        self.gpu = gpu
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self.grow_backlog_s = grow_backlog_s
+        self.shrink_backlog_s = shrink_backlog_s
+        self.cooldown_s = cooldown_s
+        self.events: list[ScaleEvent] = []
+        self._last_action_t: float | None = None
+        #: high-water mark of fleet size (reported by fleet_replay).
+        self.peak_workers = len(fleet.workers)
+
+    def mean_backlog_s(self, now: float) -> float:
+        """The scaling signal: mean estimated backlog per active worker."""
+        workers = self.fleet.workers
+        return sum(w.estimated_backlog_s(now) for w in workers) / len(workers)
+
+    def in_cooldown(self, now: float) -> bool:
+        return (
+            self._last_action_t is not None
+            and now - self._last_action_t < self.cooldown_s
+        )
+
+    def _idle_worker(self, now: float) -> FleetWorker | None:
+        """Highest-numbered worker that is drained and not executing."""
+        idle = [
+            w
+            for w in self.fleet.workers
+            if not w.server.pending() and w.busy_until <= now
+        ]
+        return max(idle, key=lambda w: w.worker_id) if idle else None
+
+    def observe(self, now: float) -> ScaleEvent | None:
+        """Evaluate the signal at instant ``now`` and resize by at most one
+        worker.  Returns the event, or None when holding steady (signal in
+        band, bounds reached, cooldown active, or nobody idle to retire)."""
+        if self.in_cooldown(now):
+            return None
+        backlog = self.mean_backlog_s(now)
+        event: ScaleEvent | None = None
+        if backlog > self.grow_backlog_s and len(self.fleet.workers) < self.max_workers:
+            worker = self.fleet.add_worker(self.gpu)
+            event = ScaleEvent(
+                now, "grow", worker.name, backlog, len(self.fleet.workers)
+            )
+        elif (
+            backlog < self.shrink_backlog_s
+            and len(self.fleet.workers) > self.min_workers
+        ):
+            worker = self._idle_worker(now)
+            if worker is not None:
+                self.fleet.remove_worker(worker)
+                event = ScaleEvent(
+                    now, "shrink", worker.name, backlog, len(self.fleet.workers)
+                )
+        if event is not None:
+            self.events.append(event)
+            self._last_action_t = now
+            self.peak_workers = max(self.peak_workers, event.workers)
+        return event

@@ -59,6 +59,18 @@ class PlanKey:
             max_chain=max_chain,
         )
 
+    def variant(self, dtype: DType) -> "PlanKey":
+        """The same plan identity at another precision — the degraded-
+        precision reroute (:mod:`repro.serve.admission`) is a cache lookup
+        under this key, not a new serving path."""
+        return PlanKey(
+            model=self.model,
+            dtype=dtype.value,
+            gpu=self.gpu,
+            convention=self.convention,
+            max_chain=self.max_chain,
+        )
+
 
 @dataclass
 class CachedPlan:

@@ -268,34 +268,70 @@ class Fleet:
         if not gpus:
             raise PlanError("a fleet needs at least one GPU")
         self.clock = clock
+        #: every dynamically added worker (autoscaling) boots with the same
+        #: server configuration the fleet was constructed with.
+        self._server_kwargs = dict(
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            cache_capacity=cache_capacity,
+            convention=convention,
+            max_chain=max_chain,
+            seed=seed,
+            clock=clock,
+            sleep=sleep,
+            db=db,
+            calibration=calibration,
+            engine=engine,
+        )
+        self._next_worker_id = 0
         #: one shared tuning DB warm-starts every worker: each preloads only
         #: the model-level records matching *its own* GPU, so heterogeneous
         #: fleets boot with per-silicon plans and serve their first request
         #: with zero planner invocations on the critical path.
-        self.workers = [
-            FleetWorker(
-                i,
-                gpu,
-                ModelServer(
-                    gpu,
-                    max_batch=max_batch,
-                    max_delay_s=max_delay_s,
-                    cache_capacity=cache_capacity,
-                    convention=convention,
-                    max_chain=max_chain,
-                    seed=seed,
-                    clock=clock,
-                    sleep=sleep,
-                    db=db,
-                    calibration=calibration,
-                    engine=engine,
-                ),
-            )
-            for i, gpu in enumerate(gpus)
-        ]
+        self.workers: list[FleetWorker] = []
+        #: workers removed by the autoscaler; their accounting still rolls up
+        #: into :meth:`stats` so a shrink never loses served-request history.
+        self.retired: list[FleetWorker] = []
+        for gpu in gpus:
+            self._build_worker(gpu)
         self.scheduler = FleetScheduler(
             self.workers, policy, spill_factor=spill_factor, trace=trace
         )
+        # The scheduler routes over the fleet's *live* worker list, so
+        # add_worker/remove_worker are visible to routing immediately.
+        self.scheduler.workers = self.workers
+
+    def _build_worker(self, gpu: GpuSpec) -> FleetWorker:
+        worker = FleetWorker(
+            self._next_worker_id, gpu, ModelServer(gpu, **self._server_kwargs)
+        )
+        self._next_worker_id += 1
+        self.workers.append(worker)
+        return worker
+
+    # ---- elasticity (driven by repro.serve.autoscale) ---------------------------
+    def add_worker(self, gpu: GpuSpec) -> FleetWorker:
+        """Grow the fleet by one worker on ``gpu``, configured identically to
+        the boot-time workers (shared clock, tuning DB, engine).  The new
+        worker starts idle and cold — backlog-aware routing makes it
+        attractive immediately."""
+        return self._build_worker(gpu)
+
+    def remove_worker(self, worker: FleetWorker) -> None:
+        """Retire one *idle* worker (empty queue, device not executing).
+
+        The worker moves to :attr:`retired` so its serving history stays in
+        :meth:`stats`; removing the last worker or a busy one is an error —
+        the autoscaler only ever shrinks idle capacity.
+        """
+        if worker not in self.workers:
+            raise PlanError(f"{worker.name} is not an active worker of this fleet")
+        if len(self.workers) == 1:
+            raise PlanError("cannot remove the last worker of a fleet")
+        if worker.server.pending() or worker.busy_until > self.clock():
+            raise PlanError(f"cannot remove busy worker {worker.name}")
+        self.workers.remove(worker)
+        self.retired.append(worker)
 
     @property
     def policy(self) -> str:
@@ -335,12 +371,21 @@ class Fleet:
 
     # ---- queued routed path ----------------------------------------------------
     def enqueue(
-        self, model: str, inputs: np.ndarray | None = None, dtype: DType = DType.FP32
+        self,
+        model: str,
+        inputs: np.ndarray | None = None,
+        dtype: DType = DType.FP32,
+        *,
+        slo_s: float | None = None,
+        priority: int = 0,
     ) -> tuple[FleetWorker, int]:
         """Route one request onto a worker's queue; returns (worker, its
-        worker-local request id)."""
+        worker-local request id).  ``slo_s``/``priority`` thread through to
+        :meth:`ModelServer.enqueue` (deadline-aware flushing per worker)."""
         worker = self.scheduler.route(model, dtype, self.clock())
-        return worker, worker.server.enqueue(model, inputs, dtype)
+        return worker, worker.server.enqueue(
+            model, inputs, dtype, slo_s=slo_s, priority=priority
+        )
 
     def pending(self) -> int:
         return sum(w.server.pending() for w in self.workers)
@@ -359,7 +404,9 @@ class Fleet:
 
     # ---- accounting -------------------------------------------------------------
     def stats(self) -> FleetStats:
-        """Aggregate serving + plan-cache counters across the fleet."""
+        """Aggregate serving + plan-cache counters across the fleet (retired
+        workers included: shrinking never loses history)."""
+        members = sorted(self.workers + self.retired, key=lambda w: w.worker_id)
         per_worker = tuple(
             WorkerStats(
                 worker=w.name,
@@ -375,7 +422,7 @@ class Fleet:
                 planner_invocations=w.server.cache.stats.planner_invocations,
                 warm_starts=w.server.cache.stats.warm_starts,
             )
-            for w in self.workers
+            for w in members
         )
         return FleetStats(
             requests=sum(s.requests for s in per_worker),

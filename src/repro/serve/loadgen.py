@@ -1,4 +1,4 @@
-"""Synthetic request streams and a discrete-event replay harness.
+"""Synthetic request streams, trace files, and a discrete-event replay harness.
 
 The serving benchmarks need latency *distributions*, not just batch
 throughput: a request's latency is its queue wait (micro-batch formation +
@@ -8,11 +8,32 @@ arrival stream on a :class:`FakeClock`, advancing simulated time by each
 flushed batch's execution latency so device occupancy back-pressures later
 arrivals — a small discrete-event simulation in the spirit of serving-system
 load generators.
+
+Beyond the classic uniform/Poisson streams, the SLO layer adds:
+
+* **heavy-tailed arrivals** — :func:`lognormal_arrival_times` /
+  :func:`pareto_arrival_times` draw inter-arrival gaps whose mean is
+  ``1/rate`` but whose tail produces the bursts that actually stress
+  admission control;
+* **diurnal arrivals** — :func:`diurnal_arrival_times` inverts the
+  cumulative intensity of a sinusoidally-modulated Poisson process, so the
+  offered rate swings around its mean like day/night traffic;
+* **trace files** — :class:`TraceRequest` + :func:`write_trace` /
+  :func:`read_trace`: a sorted JSONL format (one request per line, sorted
+  keys) whose read→write round trip is byte-identical;
+* **SLO accounting** — per-request deadlines (``slo_s``), admission control
+  (:mod:`repro.serve.admission`), reactive autoscaling
+  (:mod:`repro.serve.autoscale`), and attainment/shed/degraded/late counts
+  in :class:`StreamReport` / :class:`FleetStreamReport`, swept over offered
+  load by :func:`attainment_curve`.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -21,15 +42,30 @@ from collections.abc import Sequence
 from ..core.dtypes import DType
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
+from .admission import AdmissionController, admission_controller
+from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .cache import PlanCache
 from .fleet import Fleet, FleetWorker, RouteDecision, WorkerStats
 from .server import InferenceResult, ModelServer
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "FakeClock",
     "StreamReport",
     "FleetStreamReport",
+    "WorkerSloStats",
+    "TraceRequest",
+    "AttainmentPoint",
     "arrival_times",
+    "lognormal_arrival_times",
+    "pareto_arrival_times",
+    "diurnal_arrival_times",
+    "generate_arrivals",
+    "write_trace",
+    "read_trace",
     "percentile",
+    "capacity_rps",
+    "attainment_curve",
     "replay",
     "fleet_replay",
 ]
@@ -43,8 +79,21 @@ def percentile(samples: Sequence[float], q: float) -> float:
     interpolation (numpy's default) under-reports the tail on small result
     sets — with 10 samples it places p99 between the 9th and 10th order
     statistics, below the worst latency any request actually saw.
+
+    An empty sample set has no observable rank: raises :class:`ValueError`
+    (a shed-everything overload run serves zero requests — the replay
+    harnesses report NaN percentiles for that case rather than calling this).
     """
+    if len(samples) == 0:
+        raise ValueError(
+            "percentile of an empty sample set is undefined (no requests "
+            "were served; report NaN instead)"
+        )
     return float(np.percentile(samples, q, method="higher"))
+
+
+def _percentile_or_nan(samples: Sequence[float], q: float) -> float:
+    return percentile(samples, q) if len(samples) else float("nan")
 
 
 class FakeClock:
@@ -65,12 +114,231 @@ class FakeClock:
         self.advance(dt)
 
 
+# ---- arrival generators -------------------------------------------------------
+
+ARRIVAL_KINDS = ("uniform", "poisson", "lognormal", "pareto", "diurnal")
+
+
+def _validate_stream(n: int, rate_rps: float) -> None:
+    if n < 1 or rate_rps <= 0:
+        raise PlanError(f"need n >= 1 and rate > 0, got n={n}, rate={rate_rps}")
+
+
+def arrival_times(n: int, rate_rps: float, *, poisson: bool = False, seed: int = 0) -> list[float]:
+    """Arrival instants for ``n`` requests at ``rate_rps``.
+
+    Uniform spacing by default (deterministic benches); ``poisson=True``
+    draws exponential inter-arrival gaps from a seeded generator.
+    """
+    _validate_stream(n, rate_rps)
+    if not poisson:
+        return [i / rate_rps for i in range(n)]
+    gaps = np.random.default_rng(seed).exponential(1.0 / rate_rps, size=n)
+    return list(np.cumsum(gaps) - gaps[0])
+
+
+def lognormal_arrival_times(
+    n: int, rate_rps: float, *, sigma: float = 1.0, seed: int = 0
+) -> list[float]:
+    """Heavy-tailed arrivals: lognormal inter-arrival gaps with mean
+    ``1/rate_rps`` and shape ``sigma`` (larger -> burstier; 0 reduces to
+    uniform spacing)."""
+    _validate_stream(n, rate_rps)
+    if sigma < 0:
+        raise PlanError(f"sigma must be >= 0, got {sigma}")
+    mu = math.log(1.0 / rate_rps) - sigma * sigma / 2.0
+    gaps = np.random.default_rng(seed).lognormal(mu, sigma, size=n)
+    return list(np.cumsum(gaps) - gaps[0])
+
+
+def pareto_arrival_times(
+    n: int, rate_rps: float, *, alpha: float = 2.5, seed: int = 0
+) -> list[float]:
+    """Heavy-tailed arrivals: Pareto inter-arrival gaps with tail index
+    ``alpha`` (> 1 so the mean exists) scaled so the mean gap is
+    ``1/rate_rps``.  Small ``alpha`` -> rare huge gaps between dense bursts."""
+    _validate_stream(n, rate_rps)
+    if alpha <= 1:
+        raise PlanError(f"pareto tail index must be > 1, got {alpha}")
+    x_m = (alpha - 1.0) / (alpha * rate_rps)  # mean = alpha*x_m/(alpha-1)
+    gaps = x_m * (1.0 + np.random.default_rng(seed).pareto(alpha, size=n))
+    return list(np.cumsum(gaps) - gaps[0])
+
+
+def diurnal_arrival_times(
+    n: int,
+    rate_rps: float,
+    *,
+    period_s: float = 1.0,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> list[float]:
+    """Diurnal arrivals: a non-homogeneous Poisson process whose intensity
+    swings sinusoidally around ``rate_rps``::
+
+        lambda(t) = rate_rps * (1 + amplitude * sin(2*pi*t / period_s))
+
+    The mean of the modulation over a full period is 1, so the long-run mean
+    rate is ``rate_rps`` (the property test pins this within tolerance).
+    Arrivals are produced by time-rescaling: unit-exponential marks are
+    mapped through the inverse cumulative intensity by bisection, which keeps
+    the stream exactly reproducible per seed.
+    """
+    _validate_stream(n, rate_rps)
+    if not 0 <= amplitude < 1:
+        raise PlanError(f"amplitude must be in [0, 1), got {amplitude}")
+    if period_s <= 0:
+        raise PlanError(f"period_s must be > 0, got {period_s}")
+    marks = np.cumsum(np.random.default_rng(seed).exponential(1.0, size=n))
+
+    two_pi = 2.0 * math.pi
+
+    def cumulative(t: float) -> float:
+        # integral of lambda from 0 to t
+        return rate_rps * (
+            t + amplitude * period_s / two_pi * (1.0 - math.cos(two_pi * t / period_s))
+        )
+
+    times: list[float] = []
+    lo = 0.0
+    for mark in marks:
+        # lambda(t) >= rate*(1 - amplitude) > 0, so this bracket always holds.
+        hi = mark / (rate_rps * (1.0 - amplitude)) + period_s
+        lo_i = lo
+        for _ in range(80):  # ~1e-24 relative: bisection converges fully
+            mid = 0.5 * (lo_i + hi)
+            if cumulative(mid) < mark:
+                lo_i = mid
+            else:
+                hi = mid
+        lo = 0.5 * (lo_i + hi)
+        times.append(lo)
+    return times
+
+
+def generate_arrivals(
+    kind: str,
+    n: int,
+    rate_rps: float,
+    *,
+    seed: int = 0,
+    sigma: float = 1.0,
+    alpha: float = 2.5,
+    period_s: float = 1.0,
+    amplitude: float = 0.5,
+) -> list[float]:
+    """Dispatch an arrival stream by kind (one of :data:`ARRIVAL_KINDS`)."""
+    if kind == "uniform":
+        return arrival_times(n, rate_rps, poisson=False, seed=seed)
+    if kind == "poisson":
+        return arrival_times(n, rate_rps, poisson=True, seed=seed)
+    if kind == "lognormal":
+        return lognormal_arrival_times(n, rate_rps, sigma=sigma, seed=seed)
+    if kind == "pareto":
+        return pareto_arrival_times(n, rate_rps, alpha=alpha, seed=seed)
+    if kind == "diurnal":
+        return diurnal_arrival_times(
+            n, rate_rps, period_s=period_s, amplitude=amplitude, seed=seed
+        )
+    raise PlanError(f"unknown arrival kind {kind!r}; choose from {ARRIVAL_KINDS}")
+
+
+# ---- trace files --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a replayable trace: arrival instant, target model,
+    precision, optional SLO and priority."""
+
+    t: float
+    model: str
+    dtype: str = "fp32"
+    slo_s: float | None = None
+    priority: int = 0
+
+
+def _validate_trace(requests: Sequence[TraceRequest]) -> None:
+    if not requests:
+        raise PlanError("a trace needs at least one request")
+    last = 0.0
+    for i, req in enumerate(requests):
+        if req.t < 0:
+            raise PlanError(f"trace entry {i}: negative arrival time {req.t}")
+        if req.t < last:
+            raise PlanError(
+                f"trace entry {i}: arrival times must be non-decreasing "
+                f"({req.t} after {last})"
+            )
+        if req.slo_s is not None and req.slo_s <= 0:
+            raise PlanError(f"trace entry {i}: slo_s must be > 0, got {req.slo_s}")
+        last = req.t
+
+
+def write_trace(path: "str | Path", requests: Sequence[TraceRequest]) -> Path:
+    """Write a trace as sorted-key JSONL (one request per line).
+
+    The format is canonical — fixed key set, sorted keys, compact separators,
+    shortest-round-trip floats — so ``write_trace(read_trace(p))`` reproduces
+    the file byte for byte.
+    """
+    _validate_trace(requests)
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "t": r.t,
+                "model": r.model,
+                "dtype": r.dtype,
+                "slo_s": r.slo_s,
+                "priority": r.priority,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for r in requests
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace(path: "str | Path") -> list[TraceRequest]:
+    """Read a JSONL trace written by :func:`write_trace` (validated: sorted,
+    non-negative arrivals, positive SLOs)."""
+    requests: list[TraceRequest] = []
+    for i, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines()):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+            requests.append(
+                TraceRequest(
+                    t=float(obj["t"]),
+                    model=str(obj["model"]),
+                    dtype=str(obj.get("dtype", "fp32")),
+                    slo_s=None if obj.get("slo_s") is None else float(obj["slo_s"]),
+                    priority=int(obj.get("priority", 0)),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise PlanError(f"{path}:{i + 1}: malformed trace line: {exc}") from exc
+    _validate_trace(requests)
+    return requests
+
+
+# ---- reports ------------------------------------------------------------------
+
+
 @dataclass
 class StreamReport:
     """Result of replaying one request stream against a server.
 
     ``latency_p50_s``/``latency_p99_s`` follow the nearest-rank-above
-    convention (see :func:`percentile`): each is an observed latency.
+    convention (see :func:`percentile`) over *served* requests; both are NaN
+    when everything was shed.  ``n_requests`` counts *offered* requests;
+    ``shed`` of them were rejected by admission, the rest were served
+    (``degraded`` of those at the fallback precision, ``late`` past their
+    SLO, ``attained`` within it).
     """
 
     model: str
@@ -87,9 +355,27 @@ class StreamReport:
     energy_per_image_j: float
     planner_invocations: int
     latencies_s: list[float] = field(default_factory=list)
+    slo_s: float | None = None
+    admission: str | None = None
+    shed: int = 0
+    degraded: int = 0
+    late: int = 0
+    attained: int = 0
+
+    @property
+    def served(self) -> int:
+        return self.n_requests - self.shed
+
+    @property
+    def attainment(self) -> float | None:
+        """Fraction of *offered* requests served within their SLO (shed
+        requests count against attainment); None when no SLO was in play."""
+        if self.slo_s is None:
+            return None
+        return self.attained / self.n_requests if self.n_requests else 0.0
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.model} on {self.gpu} ({self.dtype}): {self.n_requests} reqs "
             f"@ {self.rate_rps:g} rps, max_batch={self.max_batch} -> "
             f"{self.throughput_img_s:.0f} img/s, "
@@ -99,32 +385,64 @@ class StreamReport:
             f"{self.energy_per_image_j * 1e3:.3f} mJ/img, "
             f"{self.planner_invocations} planning pass(es)"
         )
+        if self.slo_s is not None:
+            line += (
+                f"\n  SLO {self.slo_s * 1e3:g} ms"
+                + (f" [admission={self.admission}]" if self.admission else "")
+                + f": attainment {self.attainment:.1%} "
+                f"({self.attained} attained, {self.late} late, "
+                f"{self.shed} shed, {self.degraded} degraded)"
+            )
+        return line
 
 
-def arrival_times(n: int, rate_rps: float, *, poisson: bool = False, seed: int = 0) -> list[float]:
-    """Arrival instants for ``n`` requests at ``rate_rps``.
+# ---- single-server replay -----------------------------------------------------
 
-    Uniform spacing by default (deterministic benches); ``poisson=True``
-    draws exponential inter-arrival gaps from a seeded generator.
-    """
-    if n < 1 or rate_rps <= 0:
-        raise PlanError(f"need n >= 1 and rate > 0, got n={n}, rate={rate_rps}")
-    if not poisson:
-        return [i / rate_rps for i in range(n)]
-    gaps = np.random.default_rng(seed).exponential(1.0 / rate_rps, size=n)
-    return list(np.cumsum(gaps) - gaps[0])
+
+def _stream_entries(
+    trace: Sequence[TraceRequest] | None,
+    model: str | None,
+    n_requests: int | None,
+    rate_rps: float | None,
+    dtype: DType,
+    slo_s: float | None,
+    arrival: str | None,
+    poisson: bool,
+    seed: int,
+) -> tuple[list[TraceRequest], str, float]:
+    """Normalize a replay's inputs into (entries, model label, offered rate)."""
+    if trace is not None:
+        entries = list(trace)
+        _validate_trace(entries)
+        label = ",".join(dict.fromkeys(e.model for e in entries))
+        span = entries[-1].t - entries[0].t
+        rate = (len(entries) - 1) / span if span > 0 else float(len(entries))
+        return entries, label, rate
+    if model is None or n_requests is None or rate_rps is None:
+        raise PlanError("replay needs either a trace or (model, n_requests, rate_rps)")
+    kind = arrival if arrival is not None else ("poisson" if poisson else "uniform")
+    times = generate_arrivals(kind, n_requests, rate_rps, seed=seed)
+    entries = [
+        TraceRequest(t=t, model=model, dtype=dtype.value, slo_s=slo_s)
+        for t in times
+    ]
+    return entries, model, rate_rps
 
 
 def replay(
     gpu: GpuSpec,
-    model: str,
-    n_requests: int,
-    rate_rps: float,
+    model: str | None = None,
+    n_requests: int | None = None,
+    rate_rps: float | None = None,
     dtype: DType = DType.FP32,
     *,
     max_batch: int = 8,
     max_delay_s: float = 2e-3,
     poisson: bool = False,
+    arrival: str | None = None,
+    trace: Sequence[TraceRequest] | None = None,
+    slo_s: float | None = None,
+    admission: "str | AdmissionController | None" = None,
     max_chain: int = 2,
     seed: int = 0,
     server: ModelServer | None = None,
@@ -139,6 +457,15 @@ def replay(
     as both ``clock`` and ``sleep``).  Requests are analytic (counters-only),
     so full-size models replay in milliseconds; ``engine`` is threaded to the
     server for streams that carry real tensors.
+
+    ``arrival`` picks a generator from :data:`ARRIVAL_KINDS` (overriding the
+    legacy ``poisson`` flag); ``trace`` replays explicit
+    :class:`TraceRequest` entries instead (``model``/``n_requests``/
+    ``rate_rps`` are then ignored).  ``slo_s`` stamps a deadline on every
+    generated request (a trace entry's own ``slo_s`` wins), which arms the
+    server's deadline-aware flushing; ``admission`` (a policy name or an
+    :class:`~repro.serve.admission.AdmissionController`) sheds or degrades
+    requests whose projected latency would bust their SLO.
     """
     clock = FakeClock()
     if server is None:
@@ -158,13 +485,18 @@ def replay(
     else:
         raise PlanError("replay needs a server driven by a FakeClock")
 
-    arrivals = arrival_times(n_requests, rate_rps, poisson=poisson, seed=seed)
+    entries, model_label, offered_rate = _stream_entries(
+        trace, model, n_requests, rate_rps, dtype, slo_s, arrival, poisson, seed
+    )
+    controller = admission_controller(admission)
     results: list[InferenceResult] = []
     #: device-busy delay between a request's *arrival* and its enqueue (the
     #: clock may already sit past the arrival instant after executing earlier
     #: batches); the server's wait_s starts at enqueue, so this is added back
     #: when reporting latency.
     backlog_wait: dict[int, float] = {}
+    slo_of: dict[int, float | None] = {}
+    shed = degraded = 0
 
     def flush_due() -> None:
         flushed = server.step()
@@ -174,7 +506,8 @@ def replay(
             for seq in sorted({r.batch_seq for r in flushed}):
                 clock.advance(next(r.exec_s for r in flushed if r.batch_seq == seq))
 
-    for t in arrivals:
+    for entry in entries:
+        t = entry.t
         # Any partial batch whose deadline expires before this arrival
         # flushes at its deadline, not lazily at the next enqueue.
         while True:
@@ -187,8 +520,30 @@ def replay(
             if len(results) == before:
                 break
         clock.t = max(clock.t, t)
-        rid = server.enqueue(model, dtype=dtype)
+        req_dtype = DType(entry.dtype)
+        req_slo = entry.slo_s if entry.slo_s is not None else slo_s
+        if controller is not None and req_slo is not None:
+            # The clock running ahead of this arrival is device busy time the
+            # request has *already* waited out — SLO budget spent before the
+            # admission decision is even made.
+            decision = controller.decide(
+                server,
+                entry.model,
+                req_dtype,
+                req_slo,
+                occupancy_s=max(0.0, clock.t - t),
+            )
+            if decision.action == "shed":
+                shed += 1
+                continue
+            if decision.action == "degrade":
+                req_dtype = controller.degrade_dtype
+                degraded += 1
+        rid = server.enqueue(
+            entry.model, dtype=req_dtype, slo_s=req_slo, priority=entry.priority
+        )
         backlog_wait[rid] = clock.t - t
+        slo_of[rid] = req_slo
         flush_due()
 
     while server.pending():
@@ -198,23 +553,157 @@ def replay(
         flush_due()
 
     latencies = sorted(r.latency_s + backlog_wait[r.request_id] for r in results)
-    duration = max(clock.t - arrivals[0], 1e-12)
+    attained = late = 0
+    slo_in_play = slo_s is not None or any(e.slo_s is not None for e in entries)
+    if slo_in_play:
+        for r in results:
+            want = slo_of[r.request_id]
+            if want is None:
+                # best-effort requests in a mixed trace have no deadline to
+                # miss: served counts as attained.
+                attained += 1
+            elif r.latency_s + backlog_wait[r.request_id] <= want:
+                attained += 1
+            else:
+                late += 1
+    duration = max(clock.t - entries[0].t, 1e-12)
+    first_slo = next((e.slo_s for e in entries if e.slo_s is not None), None)
     return StreamReport(
-        model=model,
+        model=model_label,
         gpu=gpu.name,
         dtype=dtype.value,
-        n_requests=n_requests,
+        n_requests=len(entries),
         max_batch=server.max_batch,
-        rate_rps=rate_rps,
+        rate_rps=offered_rate,
         duration_s=duration,
-        throughput_img_s=n_requests / duration,
-        latency_p50_s=percentile(latencies, 50),
-        latency_p99_s=percentile(latencies, 99),
+        throughput_img_s=len(results) / duration,
+        latency_p50_s=_percentile_or_nan(latencies, 50),
+        latency_p99_s=_percentile_or_nan(latencies, 99),
         mean_batch=server.stats.mean_batch,
-        energy_per_image_j=float(np.mean([r.energy_per_image_j for r in results])),
+        energy_per_image_j=(
+            float(np.mean([r.energy_per_image_j for r in results]))
+            if results
+            else float("nan")
+        ),
         planner_invocations=server.cache.stats.planner_invocations,
         latencies_s=latencies,
+        slo_s=slo_s if slo_s is not None else first_slo,
+        admission=controller.policy if controller is not None else None,
+        shed=shed,
+        degraded=degraded,
+        late=late,
+        attained=attained,
     )
+
+
+# ---- capacity + attainment sweeps ---------------------------------------------
+
+
+def capacity_rps(
+    gpu: GpuSpec,
+    model: str,
+    dtype: DType = DType.FP32,
+    *,
+    max_batch: int = 8,
+    max_chain: int = 2,
+    convention: str = "paper",
+    calibration=None,
+) -> float:
+    """The server's analytic saturation throughput (img/s at full batches):
+    the natural ``1x`` anchor for offered-load sweeps."""
+    entry = PlanCache(calibration=calibration).get(
+        model, dtype, gpu, convention, max_chain
+    )
+    report = entry.analytic_report(max_batch)
+    return max_batch / report.latency_s
+
+
+@dataclass(frozen=True)
+class AttainmentPoint:
+    """One offered-load point of an SLO attainment curve."""
+
+    overload: float  # offered load as a multiple of capacity_rps
+    rate_rps: float
+    offered: int
+    served: int
+    attained: int
+    shed: int
+    degraded: int
+    late: int
+    p99_s: float  # NaN when everything was shed
+
+    @property
+    def attainment(self) -> float:
+        return self.attained / self.offered if self.offered else 0.0
+
+
+def attainment_curve(
+    gpu: GpuSpec,
+    model: str,
+    *,
+    slo_s: float,
+    overloads: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+    n_requests: int = 64,
+    dtype: DType = DType.FP32,
+    admission: str | None = "degrade",
+    arrival: str = "lognormal",
+    max_batch: int = 8,
+    max_delay_s: float = 2e-3,
+    max_chain: int = 2,
+    seed: int = 0,
+) -> list[AttainmentPoint]:
+    """SLO attainment vs offered load: replay the same seeded stream shape at
+    each multiple of the server's analytic capacity and report the
+    attained/shed/degraded/late split per point.  Fully deterministic — the
+    acceptance test replays the whole curve twice and asserts equality."""
+    base = capacity_rps(
+        gpu, model, dtype, max_batch=max_batch, max_chain=max_chain
+    )
+    points: list[AttainmentPoint] = []
+    for overload in overloads:
+        report = replay(
+            gpu,
+            model,
+            n_requests,
+            base * overload,
+            dtype,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            arrival=arrival,
+            slo_s=slo_s,
+            admission=admission_controller(admission),
+            max_chain=max_chain,
+            seed=seed,
+        )
+        points.append(
+            AttainmentPoint(
+                overload=overload,
+                rate_rps=base * overload,
+                offered=report.n_requests,
+                served=report.served,
+                attained=report.attained,
+                shed=report.shed,
+                degraded=report.degraded,
+                late=report.late,
+                p99_s=report.latency_p99_s,
+            )
+        )
+    return points
+
+
+# ---- fleet replay -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerSloStats:
+    """Per-worker SLO outcome split (sheds attributed to the routed worker)."""
+
+    worker: str
+    served: int
+    attained: int
+    late: int
+    shed: int
+    degraded: int
 
 
 @dataclass
@@ -252,6 +741,25 @@ class FleetStreamReport:
     critical_path_planner_invocations: int = 0
     #: plans preloaded at boot from a tuning DB (0 for cold starts).
     warm_starts: int = 0
+    slo_s: float | None = None
+    admission: str | None = None
+    shed: int = 0
+    degraded: int = 0
+    late: int = 0
+    attained: int = 0
+    #: per-worker SLO split, parallel to ``per_worker`` (empty without SLOs).
+    slo_per_worker: tuple[WorkerSloStats, ...] = ()
+    #: the autoscaler's decision trace (empty without autoscaling).
+    scale_events: tuple[ScaleEvent, ...] = ()
+    #: high-water mark of fleet size during the replay.
+    peak_workers: int = 0
+
+    @property
+    def attainment(self) -> float | None:
+        """Fraction of offered requests served within their SLO."""
+        if self.slo_s is None:
+            return None
+        return self.attained / self.n_requests if self.n_requests else 0.0
 
     def describe(self) -> str:
         warm = (
@@ -272,21 +780,44 @@ class FleetStreamReport:
             f"plan hit rate {self.plan_hit_rate:.0%} "
             f"({self.planner_invocations} planning pass(es){warm})"
         ]
-        for w in self.per_worker:
+        if self.slo_s is not None:
             lines.append(
+                f"  SLO {self.slo_s * 1e3:g} ms"
+                + (f" [admission={self.admission}]" if self.admission else "")
+                + f": attainment {self.attainment:.1%} "
+                f"({self.attained} attained, {self.late} late, "
+                f"{self.shed} shed, {self.degraded} degraded)"
+            )
+        if self.scale_events:
+            lines.append(
+                f"  autoscale: {len(self.scale_events)} action(s), "
+                f"peak {self.peak_workers} worker(s)"
+            )
+            for event in self.scale_events:
+                lines.append(f"    {event.describe()}")
+        slo_by_worker = {s.worker: s for s in self.slo_per_worker}
+        for w in self.per_worker:
+            line = (
                 f"  {w.worker}: {w.requests} reqs in {w.batches} batches "
                 f"(mean {w.mean_batch:.1f}), busy {w.busy_s * 1e3:.3f} ms, "
                 f"cache {w.plan_hits}h/{w.plan_misses}m, "
                 f"{w.planner_invocations} plan(s)"
             )
+            s = slo_by_worker.get(w.worker)
+            if s is not None:
+                line += (
+                    f", slo {s.attained}/{s.served} attained "
+                    f"({s.late} late, {s.shed} shed, {s.degraded} degraded)"
+                )
+            lines.append(line)
         return "\n".join(lines)
 
 
 def fleet_replay(
     gpus: Sequence[GpuSpec],
-    models: str | Sequence[str],
-    n_requests: int,
-    rate_rps: float,
+    models: "str | Sequence[str] | None" = None,
+    n_requests: int | None = None,
+    rate_rps: float | None = None,
     dtype: DType = DType.FP32,
     *,
     policy: str = "affinity",
@@ -294,6 +825,11 @@ def fleet_replay(
     max_batch: int = 8,
     max_delay_s: float = 2e-3,
     poisson: bool = False,
+    arrival: str | None = None,
+    request_trace: Sequence[TraceRequest] | None = None,
+    slo_s: float | None = None,
+    admission: "str | AdmissionController | None" = None,
+    autoscale: AutoscalePolicy | None = None,
     max_chain: int = 2,
     seed: int = 0,
     trace: bool = False,
@@ -305,13 +841,22 @@ def fleet_replay(
     """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
 
     Request ``i`` targets ``models[i % len(models)]`` — a deterministic
-    multi-model trace.  Unlike the single-server :func:`replay`, the shared
-    clock never advances by execution time: workers run in parallel, so each
-    :class:`FleetWorker` keeps its own occupancy timeline (``busy_until``).
-    A flushed batch starts when its device frees up; a request's latency is
-    queue wait + device wait + batched execution.  Everything (arrivals,
-    routing, occupancy) is deterministic, so replaying the same stream over
-    a fresh identically-configured fleet reproduces the report exactly.
+    multi-model trace (or pass ``request_trace`` to replay explicit
+    :class:`TraceRequest` entries).  Unlike the single-server :func:`replay`,
+    the shared clock never advances by execution time: workers run in
+    parallel, so each :class:`FleetWorker` keeps its own occupancy timeline
+    (``busy_until``).  A flushed batch starts when its device frees up; a
+    request's latency is queue wait + device wait + batched execution.
+    Everything (arrivals, routing, occupancy, admission, scaling) is
+    deterministic, so replaying the same stream over a fresh
+    identically-configured fleet reproduces the report exactly.
+
+    ``slo_s``/``admission`` mirror :func:`replay` (admission judges the
+    request against the worker routing picked for it, occupancy included;
+    a degraded request stays on that worker at the fallback precision).
+    ``autoscale`` binds a reactive :class:`~repro.serve.autoscale.
+    Autoscaler` to the fleet; it observes the backlog at every arrival and
+    during the drain, and its decisions land in ``scale_events``.
     """
     clock = FakeClock()
     if fleet is None:
@@ -337,14 +882,51 @@ def fleet_replay(
     # Anything planned so far (warm start, or a pre-used fleet) happened at
     # boot: replay-time planning is what the critical-path accounting tracks.
     boot_invocations = fleet.stats().planner_invocations
-    model_list = (models,) if isinstance(models, str) else tuple(models)
-    if not model_list:
-        raise PlanError("fleet_replay needs at least one model")
 
-    arrivals = arrival_times(n_requests, rate_rps, poisson=poisson, seed=seed)
+    if request_trace is not None:
+        entries = list(request_trace)
+        _validate_trace(entries)
+        model_list = tuple(dict.fromkeys(e.model for e in entries))
+        span = entries[-1].t - entries[0].t
+        offered_rate = (len(entries) - 1) / span if span > 0 else float(len(entries))
+    else:
+        if models is None or n_requests is None or rate_rps is None:
+            raise PlanError(
+                "fleet_replay needs either a request_trace or "
+                "(models, n_requests, rate_rps)"
+            )
+        model_list = (models,) if isinstance(models, str) else tuple(models)
+        if not model_list:
+            raise PlanError("fleet_replay needs at least one model")
+        kind = arrival if arrival is not None else ("poisson" if poisson else "uniform")
+        times = generate_arrivals(kind, n_requests, rate_rps, seed=seed)
+        entries = [
+            TraceRequest(
+                t=t,
+                model=model_list[i % len(model_list)],
+                dtype=dtype.value,
+                slo_s=slo_s,
+            )
+            for i, t in enumerate(times)
+        ]
+        offered_rate = rate_rps
+
+    controller = admission_controller(admission)
+    scaler = autoscale.bind(fleet) if autoscale is not None else None
+    slo_in_play = slo_s is not None or any(e.slo_s is not None for e in entries)
     latencies: list[float] = []
+    #: (worker_id, worker-local request id) -> (arrival instant, slo)
+    meta: dict[tuple[int, int], tuple[float, float | None]] = {}
+    attained = late = 0
+    slo_counts: dict[str, dict[str, int]] = {}
+
+    def worker_counts(name: str) -> dict[str, int]:
+        return slo_counts.setdefault(
+            name, {"served": 0, "attained": 0, "late": 0, "shed": 0, "degraded": 0}
+        )
 
     def handle(flushed: list[tuple[FleetWorker, InferenceResult]], now: float) -> None:
+        nonlocal attained, late
         # Batches start in flush order on their own device; occupancy is
         # per worker, so concurrently flushed workers overlap in time.
         seen: list[tuple[int, int]] = []
@@ -361,9 +943,34 @@ def fleet_replay(
             exec_s = batch[0].exec_s
             worker.busy_until = start + exec_s
             worker.busy_s += exec_s
-            latencies.extend(r.wait_s + (start - now) + exec_s for r in batch)
+            for r in batch:
+                latency = r.wait_s + (start - now) + exec_s
+                latencies.append(latency)
+                if not slo_in_play:
+                    continue
+                arrival_t, want = meta.get(
+                    (worker.worker_id, r.request_id), (None, None)
+                )
+                counts = worker_counts(worker.name)
+                counts["served"] += 1
+                if want is None:
+                    # best-effort requests in a mixed trace have no deadline
+                    # to miss: served counts as attained.
+                    attained += 1
+                    counts["attained"] += 1
+                    continue
+                # The SLO clock starts at *arrival*: wait_s starts at enqueue
+                # (= now - wait_s), so add back any arrival->enqueue gap.
+                gap = max(0.0, (now - r.wait_s) - arrival_t)
+                if latency + gap <= want:
+                    attained += 1
+                    counts["attained"] += 1
+                else:
+                    late += 1
+                    counts["late"] += 1
 
-    for i, t in enumerate(arrivals):
+    for entry in entries:
+        t = entry.t
         # Partial batches whose deadline expires before this arrival flush at
         # their deadline, not lazily at the next enqueue.
         while True:
@@ -376,31 +983,68 @@ def fleet_replay(
             if len(latencies) == before:
                 break
         clock.t = max(clock.t, t)
-        fleet.enqueue(model_list[i % len(model_list)], dtype=dtype)
+        if scaler is not None:
+            scaler.observe(clock.t)
+        req_dtype = DType(entry.dtype)
+        req_slo = entry.slo_s if entry.slo_s is not None else slo_s
+        worker = fleet.scheduler.route(entry.model, req_dtype, clock.t)
+        if controller is not None and req_slo is not None:
+            # Device occupancy plus any deadline-flush clock drift past the
+            # arrival instant: SLO budget already spent at decision time.
+            decision = controller.decide(
+                worker.server,
+                entry.model,
+                req_dtype,
+                req_slo,
+                occupancy_s=worker.occupancy_s(clock.t) + max(0.0, clock.t - t),
+            )
+            if decision.action == "shed":
+                worker_counts(worker.name)["shed"] += 1
+                continue
+            if decision.action == "degrade":
+                req_dtype = controller.degrade_dtype
+                worker_counts(worker.name)["degraded"] += 1
+        rid = worker.server.enqueue(
+            entry.model, dtype=req_dtype, slo_s=req_slo, priority=entry.priority
+        )
+        meta[(worker.worker_id, rid)] = (t, req_slo)
         handle(fleet.step(), clock.t)
 
     while fleet.pending():
         due = fleet.next_deadline()
         if due is not None:
             clock.t = max(clock.t, due)
+        if scaler is not None:
+            scaler.observe(clock.t)
         handle(fleet.step(), clock.t)
+
+    if scaler is not None:
+        # Post-drain settling: once every device has gone quiet the backlog
+        # signal is 0, so surplus workers retire back toward min_workers
+        # (bounded by cooldown — one action per observation instant).
+        clock.t = max([clock.t] + [w.busy_until for w in fleet.workers])
+        while True:
+            event = scaler.observe(clock.t)
+            if event is None:
+                break
 
     stats = fleet.stats()
     finish = max([clock.t] + [w.busy_until for w in fleet.workers])
-    duration = max(finish - arrivals[0], 1e-12)
+    duration = max(finish - entries[0].t, 1e-12)
     latencies.sort()
+    first_slo = next((e.slo_s for e in entries if e.slo_s is not None), None)
     return FleetStreamReport(
         models=model_list,
         gpus=tuple(w.gpu.name for w in fleet.workers),
         policy=fleet.policy,
         dtype=dtype.value,
-        n_requests=n_requests,
+        n_requests=len(entries),
         max_batch=fleet.workers[0].server.max_batch,
-        rate_rps=rate_rps,
+        rate_rps=offered_rate,
         duration_s=duration,
-        throughput_img_s=n_requests / duration,
-        latency_p50_s=percentile(latencies, 50),
-        latency_p99_s=percentile(latencies, 99),
+        throughput_img_s=len(latencies) / duration,
+        latency_p50_s=_percentile_or_nan(latencies, 50),
+        latency_p99_s=_percentile_or_nan(latencies, 99),
         mean_batch=stats.mean_batch,
         plan_hit_rate=stats.plan_hit_rate,
         planner_invocations=stats.planner_invocations,
@@ -411,4 +1055,16 @@ def fleet_replay(
             stats.planner_invocations - boot_invocations
         ),
         warm_starts=stats.warm_starts,
+        slo_s=slo_s if slo_s is not None else first_slo,
+        admission=controller.policy if controller is not None else None,
+        shed=sum(c["shed"] for c in slo_counts.values()),
+        degraded=sum(c["degraded"] for c in slo_counts.values()),
+        late=late,
+        attained=attained,
+        slo_per_worker=tuple(
+            WorkerSloStats(worker=name, **counts)
+            for name, counts in sorted(slo_counts.items())
+        ),
+        scale_events=tuple(scaler.events) if scaler is not None else (),
+        peak_workers=scaler.peak_workers if scaler is not None else len(fleet.workers),
     )

@@ -14,6 +14,17 @@ micro-batch.  Two entry points:
   fills (``max_batch``) or the oldest request's deadline (``max_delay_s``)
   expires.
 
+Requests may carry a per-request SLO (``enqueue(..., slo_s=)``) and a
+``priority``.  A queue holding deadline'd requests flushes *early* — at the
+instant the tightest deadline's slack is about to run out, estimated via the
+resident plan's analytic batch cost (which reflects tuning calibration when
+the server was built with one) — so a partial batch never idles past the
+point where its oldest request could still be served in time.  Priorities
+order requests within their (model, precision) queue: higher priority flushes
+first when a queue exceeds ``max_batch``.  With neither feature used, flush
+instants reduce bit-exactly to the classic ``enqueued_at + max_delay_s``
+arithmetic.
+
 The clock is injectable so schedulers and tests can drive deadline flushing
 deterministically (see :class:`~repro.serve.loadgen.FakeClock`).
 """
@@ -46,6 +57,11 @@ class InferenceRequest:
     dtype: DType
     input: np.ndarray | None  # None -> counters-only (analytic) execution
     enqueued_at: float
+    #: absolute completion deadline (``enqueued_at + slo_s``), or None for
+    #: the classic best-effort request.
+    deadline_s: float | None = None
+    #: higher flushes first within the (model, precision) queue.
+    priority: int = 0
 
 
 @dataclass(frozen=True)
@@ -166,19 +182,47 @@ class ModelServer:
 
     # ---- queued path -----------------------------------------------------------
     def enqueue(
-        self, model: str, inputs: np.ndarray | None = None, dtype: DType = DType.FP32
+        self,
+        model: str,
+        inputs: np.ndarray | None = None,
+        dtype: DType = DType.FP32,
+        *,
+        slo_s: float | None = None,
+        priority: int = 0,
     ) -> int:
         """Queue one request (one image, or analytic when ``inputs`` is None);
-        returns its request id.  Nothing executes until :meth:`step` flushes."""
+        returns its request id.  Nothing executes until :meth:`step` flushes.
+
+        ``slo_s`` stamps an absolute deadline ``now + slo_s`` on the request,
+        which arms deadline-aware early flushing for its queue (and plans the
+        model eagerly if its plan is not yet resident, so slack estimates are
+        accurate from the first batch — the planner runs in zero simulated
+        time either way).  ``priority`` inserts the request ahead of any
+        queued strictly-lower-priority requests (stable among equals).
+        """
+        if slo_s is not None and slo_s <= 0:
+            raise PlanError(f"slo_s must be > 0, got {slo_s}")
+        now = self.clock()
         req = InferenceRequest(
             id=self._next_id,
             model=model,
             dtype=dtype,
             input=inputs,
-            enqueued_at=self.clock(),
+            enqueued_at=now,
+            deadline_s=None if slo_s is None else now + slo_s,
+            priority=priority,
         )
         self._next_id += 1
-        self._queues.setdefault((model, dtype.value), deque()).append(req)
+        if slo_s is not None and self.cache.peek(
+            PlanKey.of(model, dtype, self.gpu, self.convention, self.max_chain)
+        ) is None:
+            self.cache.get(model, dtype, self.gpu, self.convention, self.max_chain)
+        queue = self._queues.setdefault((model, dtype.value), deque())
+        if priority and any(r.priority < priority for r in queue):
+            idx = next(i for i, r in enumerate(queue) if r.priority < priority)
+            queue.insert(idx, req)
+        else:
+            queue.append(req)
         self.stats.requests += 1
         return req.id
 
@@ -186,10 +230,38 @@ class ModelServer:
         """Requests currently queued across all (model, precision) keys."""
         return sum(len(q) for q in self._queues.values())
 
+    def estimated_flush_cost_s(self, key: tuple[str, str], batch: int) -> float:
+        """Analytic cost of flushing ``batch`` requests of queue ``key`` now,
+        from the resident plan (peeked — never perturbs cache accounting);
+        0.0 while the model is unplanned."""
+        model, dtype_value = key
+        entry = self.cache.peek(
+            PlanKey(
+                model=model,
+                dtype=dtype_value,
+                gpu=self.gpu.name,
+                convention=self.convention,
+                max_chain=self.max_chain,
+            )
+        )
+        return 0.0 if entry is None else entry.analytic_report(batch).latency_s
+
+    def _queue_due(self, key: tuple[str, str], queue: deque[InferenceRequest]) -> float:
+        """Instant at which this (non-empty) queue's partial batch must flush:
+        the classic formation deadline (oldest arrival + ``max_delay_s``), or
+        earlier when a queued request's SLO slack — its deadline minus the
+        estimated batch execution cost — runs out first."""
+        due = min(r.enqueued_at for r in queue) + self.max_delay_s
+        deadlines = [r.deadline_s for r in queue if r.deadline_s is not None]
+        if deadlines:
+            est = self.estimated_flush_cost_s(key, len(queue))
+            due = min(due, min(deadlines) - est)
+        return due
+
     def next_deadline(self) -> float | None:
         """Earliest instant at which a queued micro-batch must flush."""
-        oldest = [q[0].enqueued_at for q in self._queues.values() if q]
-        return min(oldest) + self.max_delay_s if oldest else None
+        dues = [self._queue_due(k, q) for k, q in self._queues.items() if q]
+        return min(dues) if dues else None
 
     def step(
         self, *, force: bool = False, max_flushes: int | None = None
@@ -220,7 +292,7 @@ class ModelServer:
             if (
                 queue
                 and budget() != 0
-                and (force or now >= queue[0].enqueued_at + self.max_delay_s)
+                and (force or now >= self._queue_due(key, queue))
             ):
                 results.extend(self._flush(queue, len(queue), now, budget()))
             if not queue:
@@ -292,6 +364,36 @@ class ModelServer:
             total += len(queue) * per_request
         if unknown and known:
             total += unknown * sum(known) / len(known)
+        return total
+
+    def estimated_drain_s(self, extra: tuple[str, str] | None = None) -> float:
+        """Analytic cost of draining the current queues in ``max_batch``
+        micro-batches, optionally with one hypothetical request appended to
+        queue ``extra`` — the admission controller's completion projection.
+
+        Unlike :meth:`estimated_queue_cost_s` (a per-request pessimistic
+        *routing* signal), this prices the backlog the way it will actually
+        execute: full batches at the batched analytic latency plus one
+        remainder batch.  Only resident plans are consulted (peeked);
+        unplanned queues price at 0.
+        """
+        total = 0.0
+        # Insertion order, not a set: float summation order must not depend
+        # on hash randomization or replay determinism breaks across runs.
+        keys = list(self._queues)
+        if extra is not None and extra not in self._queues:
+            keys.append(extra)
+        for key in keys:
+            n = len(self._queues.get(key, ()))
+            if extra == key:
+                n += 1
+            if not n:
+                continue
+            full, rest = divmod(n, self.max_batch)
+            if full:
+                total += full * self.estimated_flush_cost_s(key, self.max_batch)
+            if rest:
+                total += self.estimated_flush_cost_s(key, rest)
         return total
 
     def _flush(
