@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-slo bench-smoke bench tune-smoke docs-check lint profile
+.PHONY: test test-slo test-planner bench-smoke bench tune-smoke docs-check lint profile
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
@@ -11,6 +11,10 @@ test:
 ## just the SLO traffic-layer suite (fast iteration on serve/admission/autoscale)
 test-slo:
 	$(PYTHON) -m pytest tests/test_slo.py -q
+
+## vectorized-search parity suite + the workers determinism guard
+test-planner:
+	$(PYTHON) -m pytest tests/test_planner_vectorized.py tests/test_workers.py -q
 
 ## quick serving + fleet + tuning + one-figure artifact pass (no full fig10
 ## sweep); emits BENCH_smoke.json so the bench trajectory accumulates in CI
@@ -21,7 +25,8 @@ bench-smoke:
 	    benchmarks/bench_fleet_scaling.py \
 	    benchmarks/bench_kernel_simulation.py \
 	    benchmarks/bench_slo.py \
-	    benchmarks/bench_tuning.py --smoke \
+	    benchmarks/bench_tuning.py \
+	    benchmarks/bench_planner_speed.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 
 ## measure one model on one GPU and emit the tuning DB (TUNE_smoke.json);
@@ -37,7 +42,8 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
 
 ## cProfile top-25 of one MobileNetV2 functional run (fast engine) — the
-## starting point for simulator perf PRs; pass ARGS="--engine reference" etc.
+## starting point for simulator perf PRs; pass ARGS="--engine reference",
+## ARGS="--what plan" (planning in isolation), etc.
 profile:
 	$(PYTHON) tools/profile_run.py mobilenet_v2 --top 25 $(ARGS)
 

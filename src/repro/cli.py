@@ -111,7 +111,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
               f"{len(calibration)} family factors ({args.db})")
     graph = build_model(args.model, _dtype(args.dtype))
     planner = FusePlanner(
-        gpu_by_name(args.gpu), max_chain=args.max_chain, calibration=calibration
+        gpu_by_name(args.gpu), max_chain=args.max_chain, calibration=calibration,
+        search_engine=args.search_engine,
     )
     plan = planner.plan(graph)
     print(plan.describe())
@@ -375,6 +376,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         trace=args.explain,
         db=db,
         calibration=calibration,
+        workers=args.workers,
         **slo,
     )
     print(report.describe())
@@ -406,6 +408,7 @@ def _cmd_tune_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         backend=args.backend,
         engine=args.engine,
+        workers=args.workers,
     )
     path = db.save(args.db)
     for mm in results:
@@ -493,7 +496,9 @@ _EPILOGS: dict[str, str] = {
         "examples:\n"
         "  python -m repro.cli plan mobilenet_v2 --gpu RTX\n"
         "  python -m repro.cli plan xception --gpu Orin --dtype int8\n"
-        "  python -m repro.cli plan mobilenet_v2 --max-chain 3 --explain"
+        "  python -m repro.cli plan mobilenet_v2 --max-chain 3 --explain\n"
+        "  python -m repro.cli plan mobilenet_v2 --search-engine reference "
+        "# scalar oracle"
     ),
     "run": (
         "examples:\n"
@@ -532,7 +537,9 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli fleet --gpus RTX,RTX --policy round_robin --poisson\n"
         "  python -m repro.cli fleet --gpus RTX --slo-ms 5 --admission degrade "
         "--autoscale 1:4 --cooldown-ms 2\n"
-        "  python -m repro.cli fleet --gpus GTX,RTX --db TUNE_zoo.json  # warm start"
+        "  python -m repro.cli fleet --gpus GTX,RTX --db TUNE_zoo.json  # warm start\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX,Orin --workers 4  "
+        "# parallel boot-time preplanning"
     ),
     "tune": (
         "examples:\n"
@@ -550,7 +557,9 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli tune run --models mobilenet_v1 --gpus GTX "
         "--mode exhaustive --db TUNE_zoo.json\n"
         "  python -m repro.cli tune run --models mobilenet_v1 --gpus GTX "
-        "--backend kernel --engine fast --db TUNE_zoo.json"
+        "--backend kernel --engine fast --db TUNE_zoo.json\n"
+        "  python -m repro.cli tune run --models mobilenet_v1,mobilenet_v2 "
+        "--gpus GTX,RTX --workers 4 --db TUNE_zoo.json  # parallel sweep"
     ),
     "tune show": (
         "examples:\n"
@@ -630,6 +639,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", default="",
                    help="tuning DB path (see `tune run`); when given, fusion "
                         "decisions rank candidates by calibrated cost")
+    p.add_argument("--search-engine", choices=["vectorized", "reference"],
+                   default="vectorized",
+                   help="tiling search engine: whole-grid NumPy evaluation "
+                        "(default) or the scalar reference loop — both "
+                        "return bit-identical plans")
 
     p = _add_cmd(sub, "run", _cmd_run,
                  "run one functional inference end to end (fast or reference)")
@@ -746,6 +760,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", default="",
                    help="tuning DB path: every worker warm-starts its own "
                         "GPU's model records at boot")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size for boot-time preplanning; >1 "
+                        "plans every (GPU, model, dtype) before the stream "
+                        "starts, off the serving critical path (default 1, "
+                        "plan on first request)")
 
     p = sub.add_parser(
         "tune",
@@ -794,6 +813,10 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--engine", choices=["fast", "reference"], default="fast",
                     help="execution engine for --backend kernel (default "
                          "fast; counters are bit-identical either way)")
+    tp.add_argument("--workers", type=int, default=1,
+                    help="process-pool size for the (model, GPU) sweep; the "
+                         "merged DB is byte-identical for every worker count "
+                         "(default 1, serial)")
 
     tp = _add_tune("show", _cmd_tune_show,
                    "summarize a tuning DB and its fitted calibration")

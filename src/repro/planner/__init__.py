@@ -13,9 +13,19 @@ from .costs import (
     pw_tile_footprint,
 )
 from .fcm_costs import FcmCost, fcm_feasible, fcm_footprints, fcm_gma
+from .grid_search import TilingGrid, chain_grid, fcm_grid, lbl_grid, pow2_candidates
+from .memo import GeometryMemo, shared_memo
 from .plan import ChainStep, ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep
 from .planner import CandidateReport, ChainDecision, FusePlanner, FusionDecision
-from .search import SearchResult, best_chain_tiling, best_fcm_tiling, best_lbl_tiling
+from .search import (
+    DEFAULT_SEARCH_ENGINE,
+    SEARCH_ENGINES,
+    SearchResult,
+    best_chain_tiling,
+    best_fcm_tiling,
+    best_lbl_tiling,
+    resolve_search_engine,
+)
 
 __all__ = [
     "GmaEstimate",
@@ -46,7 +56,17 @@ __all__ = [
     "ChainDecision",
     "CandidateReport",
     "SearchResult",
+    "SEARCH_ENGINES",
+    "DEFAULT_SEARCH_ENGINE",
+    "resolve_search_engine",
     "best_chain_tiling",
     "best_fcm_tiling",
     "best_lbl_tiling",
+    "TilingGrid",
+    "lbl_grid",
+    "fcm_grid",
+    "chain_grid",
+    "pow2_candidates",
+    "GeometryMemo",
+    "shared_memo",
 ]

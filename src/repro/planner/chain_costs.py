@@ -51,6 +51,8 @@ __all__ = [
     "chain_feasible",
     "chain_footprints",
     "chain_tiling_keys",
+    "chain_axis_tables",
+    "chain_window_extents",
 ]
 
 
@@ -141,6 +143,46 @@ def _stage_macs_per_elem(spec: ConvSpec) -> int:
     if spec.kind is not ConvKind.DEPTHWISE:
         per *= spec.in_channels
     return per
+
+
+def chain_axis_tables(
+    chain: FusedChain, tiles, axis: int
+) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+    """(summed, covered) per-boundary extents for every candidate tile size.
+
+    Returns ``(totals, covered)`` where ``totals[b][i]`` is the summed
+    clamped extent of boundary ``b`` under tile size ``tiles[i]`` along
+    ``axis`` (0 = rows, 1 = cols) and ``covered[b][i]`` the union of those
+    extents — the measured-convention inputs the vectorized chain search
+    broadcasts over its (tile_h, tile_w) grid.
+    """
+    n_bounds = chain.length + 1
+    per_tile = [[_axis_sums(r) for r in _axis_ranges(chain, t, axis)] for t in tiles]
+    totals = [tuple(per_tile[i][b][0] for i in range(len(per_tile))) for b in range(n_bounds)]
+    covered = [tuple(per_tile[i][b][1] for i in range(len(per_tile))) for b in range(n_bounds)]
+    return totals, covered
+
+
+def chain_window_extents(chain: FusedChain, tiles) -> list[tuple[int, ...]]:
+    """Unclamped per-boundary window extents for every candidate tile size.
+
+    ``ext[b][i]`` composes :func:`repro.core.tiling.input_extent` backward
+    through the stages (the worst-case interior tile of :func:`_max_extents`),
+    one axis at a time — the footprint tables of the vectorized feasibility
+    check.  Kernels are square, so the same table serves both axes (fed with
+    that axis's candidate tile sizes).
+    """
+    per_tile = []
+    for t in tiles:
+        e = t
+        per = [e]
+        for spec in reversed(chain.specs):
+            e = input_extent(e, spec.kernel, spec.stride)
+            per.append(e)
+        per.reverse()
+        per_tile.append(per)
+    n_bounds = chain.length + 1
+    return [tuple(per_tile[i][b] for i in range(len(per_tile))) for b in range(n_bounds)]
 
 
 # ---- GMA ---------------------------------------------------------------------

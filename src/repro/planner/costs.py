@@ -28,6 +28,7 @@ __all__ = [
     "dw_gma",
     "lbl_gma",
     "loaded_axis_elems",
+    "loaded_axis_table",
     "pw_tile_footprint",
     "dw_tile_footprint",
     "pw_feasible",
@@ -83,6 +84,21 @@ def loaded_axis_elems(
         lo, hi = tile_input_range(t0, tlen, kernel, stride, padding, in_size)
         total += max(hi - lo, 0)
     return total
+
+
+def loaded_axis_table(
+    out_size: int, tiles, kernel: int, stride: int, padding: int, in_size: int
+) -> tuple[int, ...]:
+    """:func:`loaded_axis_elems` for every candidate tile size along one axis.
+
+    The vectorized search evaluates whole candidate grids at once; the
+    measured convention is not closed-form (border clamping), but it *is*
+    axis-separable, so one small table per axis — one entry per distinct
+    tile size — is all the grid evaluation needs.
+    """
+    return tuple(
+        loaded_axis_elems(out_size, t, kernel, stride, padding, in_size) for t in tiles
+    )
 
 
 def pw_gma(spec: ConvSpec, tiling: PwTiling, convention: str = "paper") -> GmaEstimate:

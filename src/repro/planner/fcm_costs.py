@@ -24,7 +24,14 @@ from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind, ConvSpec
 from .costs import GmaEstimate, loaded_axis_elems
 
-__all__ = ["FcmCost", "fcm_gma", "fcm_feasible", "fcm_footprints"]
+__all__ = [
+    "FcmCost",
+    "fcm_gma",
+    "fcm_feasible",
+    "fcm_footprints",
+    "covered_axis_elems",
+    "covered_axis_table",
+]
 
 
 @dataclass(frozen=True)
@@ -172,6 +179,22 @@ def _covered_axis(out: int, tile: int, k: int, s: int, pad: int, in_size: int) -
             used += hi - lo
             prev_hi = hi
     return used
+
+
+#: Public name for the distinct-coverage counter: the vectorized search and
+#: the chain cost model both need the same clamped-union geometry.
+covered_axis_elems = _covered_axis
+
+
+def covered_axis_table(
+    out: int, tiles, k: int, s: int, pad: int, in_size: int
+) -> tuple[int, ...]:
+    """:func:`covered_axis_elems` for every candidate tile size (one axis).
+
+    Like :func:`repro.planner.costs.loaded_axis_table`, this is the
+    axis-separable ingredient the whole-grid evaluation broadcasts.
+    """
+    return tuple(_covered_axis(out, t, k, s, pad, in_size) for t in tiles)
 
 
 _ESTIMATORS = {

@@ -1,0 +1,200 @@
+"""Cross-model geometry memo: tile searches keyed by what they depend on.
+
+Zoo models repeat geometries heavily — MobileNetV2's inverted residuals
+reuse a handful of (channels, extent, stride) shapes, and *different* models
+share stem/head shapes too.  :class:`repro.planner.planner.FusePlanner`
+already memoizes per instance (``_lbl_cache`` / ``_chain_cache``); this
+module lifts that to a process-wide store shared across planner instances
+(the serving fleet builds one planner per worker) and persistable next to
+the tuning DB, in the same canonical-JSONL discipline as
+:class:`repro.tune.records.TuningDB`.
+
+Only the three *search* families are memoized — ``best_lbl_tiling``,
+``best_fcm_tiling``, ``best_chain_tiling`` — because their winners depend
+solely on (geometry, dtype, GPU limits, cost convention).  FCM-type
+arbitration and the run-partitioning DP are deliberately *not* memoized
+here: those decisions are calibration-dependent and stay in the planner.
+The search engine is excluded from the key by design: the vectorized and
+reference engines are bit-identical (enforced by the parity suite), so a
+memo may serve either.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search uses memos)
+    from .search import SearchResult
+
+__all__ = ["GeometryMemo", "shared_memo"]
+
+SCHEMA_VERSION = 1
+_KIND = "repro-planmemo"
+
+
+def _spec_key(spec) -> tuple:
+    """Everything a tile search reads from one layer: geometry + precision."""
+    return (
+        spec.kind.short,
+        spec.in_channels,
+        spec.out_channels,
+        spec.in_h,
+        spec.in_w,
+        spec.kernel,
+        spec.stride,
+        spec.padding,
+        spec.dtype.value,
+    )
+
+
+def _gpu_key(gpu) -> tuple:
+    """Everything a tile search reads from the GPU: capacity limits only."""
+    return (gpu.name, gpu.sm_count, gpu.l1_kb, gpu.shared_kb, gpu.warp_size)
+
+
+def _tuplify(obj):
+    """JSON arrays back to the hashable nested-tuple key form."""
+    if isinstance(obj, list):
+        return tuple(_tuplify(v) for v in obj)
+    return obj
+
+
+class GeometryMemo:
+    """Process-wide keyed store of tile-search winners (``None`` = infeasible).
+
+    Infeasible outcomes are memoized too — re-proving that PWPW does not fit
+    at FP32 for every model that asks costs as much as finding a winner.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[tuple, "SearchResult | None"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ---- keys ----------------------------------------------------------------
+    def lbl_key(self, spec, gpu, convention: str) -> tuple:
+        return ("lbl", _spec_key(spec), _gpu_key(gpu), convention)
+
+    def fcm_key(self, fcm_type, first, second, gpu, convention: str) -> tuple:
+        return (
+            "fcm",
+            fcm_type.name,
+            _spec_key(first),
+            _spec_key(second),
+            _gpu_key(gpu),
+            convention,
+        )
+
+    def chain_key(self, chain, gpu, convention: str) -> tuple:
+        return (
+            "chain",
+            tuple(_spec_key(s) for s in chain.specs),
+            _gpu_key(gpu),
+            convention,
+        )
+
+    # ---- lookup ---------------------------------------------------------------
+    def get_or_search(
+        self, key: tuple, search: Callable[[], "SearchResult | None"]
+    ) -> "SearchResult | None":
+        """Return the memoized result, running ``search`` on first miss.
+
+        A ``search`` that raises stores nothing (e.g. an infeasible-LBL
+        PlanError carries the layer *name*, which is not part of the
+        geometry key and must not be replayed for an unrelated layer).
+        """
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        value = search()
+        self._store[key] = value
+        return value
+
+    # ---- persistence ----------------------------------------------------------
+    def dumps(self) -> str:
+        """Canonical JSONL: header line + one row per key, sorted by key.
+
+        Same discipline as :meth:`repro.tune.records.TuningDB.dumps` —
+        equal stores serialize to equal bytes regardless of insertion order.
+        """
+        header = _canonical({"kind": _KIND, "schema": SCHEMA_VERSION})
+        rows = []
+        for key, result in self._store.items():
+            if result is None:
+                payload = None
+            else:
+                payload = {
+                    "tiling": dict(result.tiling),
+                    "gma_bytes": result.gma_bytes,
+                    "redundancy_ratio": result.redundancy_ratio,
+                }
+            rows.append(_canonical({"key": key, "result": payload}))
+        return "\n".join([header] + sorted(rows)) + "\n"
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def loads(cls, text: str) -> "GeometryMemo":
+        from .search import SearchResult
+
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise PlanError("geometry memo: empty file")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"geometry memo: corrupt header: {exc}") from exc
+        if header.get("kind") != _KIND:
+            raise PlanError(f"geometry memo: unknown kind {header.get('kind')!r}")
+        if header.get("schema", 0) > SCHEMA_VERSION:
+            raise PlanError(
+                f"geometry memo: schema {header.get('schema')} is newer than "
+                f"this build's {SCHEMA_VERSION}"
+            )
+        memo = cls()
+        for ln in lines[1:]:
+            try:
+                row = json.loads(ln)
+            except json.JSONDecodeError as exc:
+                raise PlanError(f"geometry memo: corrupt row: {exc}") from exc
+            payload = row.get("result")
+            result = None
+            if payload is not None:
+                result = SearchResult(
+                    tiling={k: int(v) for k, v in payload["tiling"].items()},
+                    gma_bytes=int(payload["gma_bytes"]),
+                    redundancy_ratio=float(payload["redundancy_ratio"]),
+                )
+            memo._store[_tuplify(row["key"])] = result
+        return memo
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GeometryMemo":
+        return cls.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+#: The process-wide default memo every FusePlanner shares unless handed its
+#: own (tests pass fresh instances; worker processes each grow their own).
+_SHARED = GeometryMemo()
+
+
+def shared_memo() -> GeometryMemo:
+    return _SHARED

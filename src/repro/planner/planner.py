@@ -39,7 +39,14 @@ from .plan import (
     chain_family,
     lbl_family,
 )
-from .search import SearchResult, best_chain_tiling, best_fcm_tiling, best_lbl_tiling
+from .memo import shared_memo
+from .search import (
+    SearchResult,
+    best_chain_tiling,
+    best_fcm_tiling,
+    best_lbl_tiling,
+    resolve_search_engine,
+)
 
 __all__ = ["FusePlanner", "FusionDecision", "ChainDecision", "CandidateReport"]
 
@@ -151,6 +158,14 @@ class FusePlanner:
             factors for keep the byte ranking, so ``None``, an empty
             calibration, and a DB tuned on other silicon all reproduce the
             uncalibrated plans bit-for-bit.
+        search_engine: tile-search engine, ``"vectorized"`` (default) or the
+            scalar ``"reference"`` oracle — bit-identical winners either way
+            (:data:`repro.planner.search.SEARCH_ENGINES`).
+        memo: a :class:`repro.planner.memo.GeometryMemo` to consult/fill;
+            defaults to the process-wide shared memo, so planners built for
+            different models reuse each other's searches.  Safe to share
+            across engines and calibrations — only calibration-independent
+            search winners are stored.
     """
 
     def __init__(
@@ -159,6 +174,8 @@ class FusePlanner:
         convention: str = "paper",
         max_chain: int = 2,
         calibration=None,
+        search_engine: str | None = None,
+        memo=None,
     ) -> None:
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
@@ -166,6 +183,8 @@ class FusePlanner:
         self.convention = convention
         self.max_chain = max_chain
         self.calibration = calibration
+        self.search_engine = resolve_search_engine(search_engine)
+        self.memo = shared_memo() if memo is None else memo
         self._covered: dict[DType, bool] = {}
         self._lbl_cache: dict[tuple, SearchResult] = {}
         #: memoized chain searches by run geometry; layer names are excluded
@@ -179,7 +198,13 @@ class FusePlanner:
         """Minimum-GMA layer-by-layer tiling for one DW/PW layer (cached)."""
         key = _lbl_key(spec)
         if key not in self._lbl_cache:
-            self._lbl_cache[key] = best_lbl_tiling(spec, self.gpu, self.convention)
+            self._lbl_cache[key] = best_lbl_tiling(
+                spec,
+                self.gpu,
+                self.convention,
+                engine=self.search_engine,
+                memo=self.memo,
+            )
         return self._lbl_cache[key]
 
     # ---- candidate-ranking currency --------------------------------------------
@@ -228,7 +253,15 @@ class FusePlanner:
         types = candidate_fcm_types(first.kind.short, second.kind.short)
         best: tuple[tuple, FcmType, SearchResult] | None = None
         for t in types:
-            res = best_fcm_tiling(t, first, second, self.gpu, self.convention)
+            res = best_fcm_tiling(
+                t,
+                first,
+                second,
+                self.gpu,
+                self.convention,
+                engine=self.search_engine,
+                memo=self.memo,
+            )
             if res is None:
                 continue
             cost = self._cost(chain_family(t, 2), res.gma_bytes, first.dtype)
@@ -289,7 +322,13 @@ class FusePlanner:
     ) -> tuple[FcmType | None, SearchResult] | None:
         if len(specs) == 2:
             return self._arbitrate_pair(specs[0], specs[1])
-        res = best_chain_tiling(FusedChain(specs), self.gpu, self.convention)
+        res = best_chain_tiling(
+            FusedChain(specs),
+            self.gpu,
+            self.convention,
+            engine=self.search_engine,
+            memo=self.memo,
+        )
         if res is None:
             return None
         return None, res

@@ -8,6 +8,18 @@ resource underutilization".  The warp rule applies to a thread block's
 tiny spatial extents (7x7) can still trade pixels for filters.  Among
 feasible configurations, warp-multiple blocks are preferred, then minimum
 GMA, then larger tiles (fewer blocks) as the tie-break.
+
+Two engines implement the same search contract, mirroring the kernel
+simulator's ``fast``/``reference`` split (:mod:`repro.gpu.fastpath`):
+
+* ``vectorized`` (default) — the whole candidate grid evaluated as array
+  programs (:mod:`repro.planner.grid_search`);
+* ``reference`` — the original scalar sweep, kept as the oracle the parity
+  suite compares against.
+
+Both produce bit-identical :class:`SearchResult` winners; an optional
+:class:`repro.planner.memo.GeometryMemo` caches winners across planner
+instances (and, persisted, across processes).
 """
 
 from __future__ import annotations
@@ -19,15 +31,19 @@ from typing import Iterable, Mapping
 from ..core.chain import FusedChain
 from ..core.fcm import FcmType
 from ..core.tiling import DwTiling, PwTiling
-from ..errors import PlanError
+from ..errors import PlanError, UnsupportedError
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind, ConvSpec
 from .chain_costs import chain_feasible, chain_gma
 from .costs import dw_feasible, dw_gma, pw_feasible, pw_gma
 from .fcm_costs import FcmCost, fcm_feasible, fcm_gma
+from .grid_search import chain_grid, fcm_grid, lbl_grid, pow2_candidates
 
 __all__ = [
     "SearchResult",
+    "SEARCH_ENGINES",
+    "DEFAULT_SEARCH_ENGINE",
+    "resolve_search_engine",
     "best_lbl_tiling",
     "best_fcm_tiling",
     "best_chain_tiling",
@@ -46,15 +62,27 @@ class SearchResult:
     redundancy_ratio: float = 0.0
 
 
-def _pow2_upto(limit: int, minimum: int = 1) -> list[int]:
+SEARCH_ENGINES = ("vectorized", "reference")
+
+#: The whole-grid array evaluation is the default everywhere; the scalar
+#: per-candidate sweep stays available as the reference oracle.
+DEFAULT_SEARCH_ENGINE = "vectorized"
+
+
+def resolve_search_engine(engine: str | None) -> str:
+    """Normalize a search-engine name (``None`` -> the default), or raise."""
+    if engine is None:
+        return DEFAULT_SEARCH_ENGINE
+    if engine not in SEARCH_ENGINES:
+        raise UnsupportedError(
+            f"unknown search engine {engine!r}; choose from {SEARCH_ENGINES}"
+        )
+    return engine
+
+
+def _pow2_upto(limit: int, minimum: int = 1) -> tuple[int, ...]:
     """Powers of two in [minimum, limit], always including ``limit`` itself."""
-    vals: list[int] = []
-    v = minimum
-    while v < limit:
-        vals.append(v)
-        v *= 2
-    vals.append(limit)
-    return sorted(set(vals))
+    return pow2_candidates(limit, minimum)
 
 
 def _rank_key(tiling: Mapping[str, int], gma: int, warp: int) -> tuple[int, int, int]:
@@ -100,8 +128,12 @@ def enumerate_lbl_tilings(spec: ConvSpec, gpu: GpuSpec) -> list[dict[str, int]]:
     return out
 
 
-def best_lbl_tiling(spec: ConvSpec, gpu: GpuSpec, convention: str = "paper") -> SearchResult:
-    """Minimize Eq. 2 / Eq. 3 over the feasible tile grid for one layer."""
+def _search_lbl(spec: ConvSpec, gpu: GpuSpec, convention: str, engine: str) -> SearchResult | None:
+    if engine == "vectorized":
+        win = lbl_grid(spec, gpu, convention).best(gpu.warp_size)
+        if win is None:
+            return None
+        return SearchResult(tiling=win[0], gma_bytes=win[1])
     scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
     for d in enumerate_lbl_tilings(spec, gpu):
         if spec.kind is ConvKind.POINTWISE:
@@ -113,11 +145,38 @@ def best_lbl_tiling(spec: ConvSpec, gpu: GpuSpec, convention: str = "paper") -> 
         scored.append((_rank_key(d, gma, gpu.warp_size), d, 0.0))
     win = _best(scored)
     if win is None:
+        return None
+    return SearchResult(tiling=win[0], gma_bytes=win[1])
+
+
+def best_lbl_tiling(
+    spec: ConvSpec,
+    gpu: GpuSpec,
+    convention: str = "paper",
+    *,
+    engine: str | None = None,
+    memo=None,
+) -> SearchResult:
+    """Minimize Eq. 2 / Eq. 3 over the feasible tile grid for one layer.
+
+    ``engine`` picks the grid evaluation (:data:`SEARCH_ENGINES`); ``memo``
+    is an optional :class:`repro.planner.memo.GeometryMemo` consulted before
+    searching.
+    """
+    engine = resolve_search_engine(engine)
+    if memo is None:
+        res = _search_lbl(spec, gpu, convention, engine)
+    else:
+        res = memo.get_or_search(
+            memo.lbl_key(spec, gpu, convention),
+            lambda: _search_lbl(spec, gpu, convention, engine),
+        )
+    if res is None:
         raise PlanError(
             f"{spec.name}: no feasible LBL tiling on {gpu.name} "
             f"(L1 {gpu.l1_kb}KiB, {gpu.sm_count} SMs)"
         )
-    return SearchResult(tiling=win[0], gma_bytes=win[1])
+    return res
 
 
 def _fcm_tiling_candidates(
@@ -162,19 +221,19 @@ def enumerate_fcm_tilings(
     ]
 
 
-def best_fcm_tiling(
+def _search_fcm(
     fcm_type: FcmType,
     first: ConvSpec,
     second: ConvSpec,
     gpu: GpuSpec,
-    convention: str = "paper",
+    convention: str,
+    engine: str,
 ) -> SearchResult | None:
-    """Minimize the FCM estimator over the feasible tile grid.
-
-    Returns ``None`` when no tiling satisfies the fused constraints — the
-    module is infeasible on this GPU at this precision (paper §IV-B: "PWPW
-    fusion is less likely when the weights use FP32").
-    """
+    if engine == "vectorized":
+        win = fcm_grid(fcm_type, first, second, gpu, convention).best(gpu.warp_size)
+        if win is None:
+            return None
+        return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])
     scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
     for tiling in enumerate_fcm_tilings(fcm_type, first, second, gpu):
         cost: FcmCost = fcm_gma(fcm_type, first, second, tiling, convention)
@@ -189,6 +248,32 @@ def best_fcm_tiling(
     if win is None:
         return None
     return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])
+
+
+def best_fcm_tiling(
+    fcm_type: FcmType,
+    first: ConvSpec,
+    second: ConvSpec,
+    gpu: GpuSpec,
+    convention: str = "paper",
+    *,
+    engine: str | None = None,
+    memo=None,
+) -> SearchResult | None:
+    """Minimize the FCM estimator over the feasible tile grid.
+
+    Returns ``None`` when no tiling satisfies the fused constraints — the
+    module is infeasible on this GPU at this precision (paper §IV-B: "PWPW
+    fusion is less likely when the weights use FP32").  ``None`` outcomes
+    are memoized too when a ``memo`` is supplied.
+    """
+    engine = resolve_search_engine(engine)
+    if memo is None:
+        return _search_fcm(fcm_type, first, second, gpu, convention, engine)
+    return memo.get_or_search(
+        memo.fcm_key(fcm_type, first, second, gpu, convention),
+        lambda: _search_fcm(fcm_type, first, second, gpu, convention, engine),
+    )
 
 
 def _chain_tiling_candidates(chain: FusedChain) -> list[dict[str, int]]:
@@ -214,17 +299,12 @@ def enumerate_chain_tilings(chain: FusedChain, gpu: GpuSpec) -> list[dict[str, i
     ]
 
 
-def best_chain_tiling(
-    chain: FusedChain, gpu: GpuSpec, convention: str = "paper"
-) -> SearchResult | None:
-    """Minimize the N-stage chain estimator over the feasible tile grid.
-
-    Same sweep discipline as the pairwise search — powers of two per tile
-    axis, warp-multiple thread blocks preferred, minimum GMA, then larger
-    tiles — applied to the chain vocabulary (``tile_h``/``tile_w`` on the
-    final output plus ``tile_m`` when the last stage is pointwise).
-    Returns ``None`` when no tiling satisfies the chained constraints.
-    """
+def _search_chain(chain: FusedChain, gpu: GpuSpec, convention: str, engine: str) -> SearchResult | None:
+    if engine == "vectorized":
+        win = chain_grid(chain, gpu, convention).best(gpu.warp_size)
+        if win is None:
+            return None
+        return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])
     scored: list[tuple[tuple[int, int, int], dict[str, int], float]] = []
     for tiling in enumerate_chain_tilings(chain, gpu):
         cost: FcmCost = chain_gma(chain, tiling, convention)
@@ -239,3 +319,28 @@ def best_chain_tiling(
     if win is None:
         return None
     return SearchResult(tiling=win[0], gma_bytes=win[1], redundancy_ratio=win[2])
+
+
+def best_chain_tiling(
+    chain: FusedChain,
+    gpu: GpuSpec,
+    convention: str = "paper",
+    *,
+    engine: str | None = None,
+    memo=None,
+) -> SearchResult | None:
+    """Minimize the N-stage chain estimator over the feasible tile grid.
+
+    Same sweep discipline as the pairwise search — powers of two per tile
+    axis, warp-multiple thread blocks preferred, minimum GMA, then larger
+    tiles — applied to the chain vocabulary (``tile_h``/``tile_w`` on the
+    final output plus ``tile_m`` when the last stage is pointwise).
+    Returns ``None`` when no tiling satisfies the chained constraints.
+    """
+    engine = resolve_search_engine(engine)
+    if memo is None:
+        return _search_chain(chain, gpu, convention, engine)
+    return memo.get_or_search(
+        memo.chain_key(chain, gpu, convention),
+        lambda: _search_chain(chain, gpu, convention, engine),
+    )

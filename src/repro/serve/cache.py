@@ -176,6 +176,43 @@ class PlanCache:
             self.stats.evictions += 1
         return entry
 
+    def install(
+        self,
+        model: str,
+        dtype: DType,
+        gpu: GpuSpec,
+        convention: str = "paper",
+        max_chain: int = 2,
+        *,
+        plan: ExecutionPlan,
+    ) -> CachedPlan:
+        """Adopt a plan produced elsewhere (e.g. by a preplanning worker
+        process) as a resident entry.
+
+        The planner already ran — possibly in another process — so this
+        counts as a ``warm_start``, not a miss or a planner invocation: the
+        plan-once/serve-many accounting the replay asserts must not depend
+        on *where* boot-time planning happened.  The graph, weights and
+        session are materialized here (they are cheap relative to planning
+        and not worth shipping across a process boundary).  An already
+        resident entry wins: installing under a live key is a no-op so a
+        preplan pass can never clobber serving state.
+        """
+        key = PlanKey.of(model, dtype, gpu, convention, max_chain)
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        graph = build_model(model, dtype)
+        params = materialize_network(graph, dtype, self.seed)
+        session = InferenceSession(graph, plan, params)
+        entry = CachedPlan(key=key, graph=graph, plan=plan, params=params, session=session)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.warm_starts += 1
+        return entry
+
     def warm_start(
         self,
         db,

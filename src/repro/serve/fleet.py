@@ -53,6 +53,23 @@ __all__ = [
 POLICIES = ("affinity", "round_robin")
 
 
+def _preplan_job(job: tuple) -> "object":
+    """Plan one (GPU, model, dtype) in a worker process; returns the plan.
+
+    Module-level so it pickles under spawn-based pools too.  Only the
+    :class:`~repro.planner.plan.ExecutionPlan` crosses back — weights and
+    sessions are rebuilt cheaply on the parent side by
+    :meth:`repro.serve.cache.PlanCache.install`.
+    """
+    gpu, model, dtype, convention, max_chain, calibration = job
+    from ..models.zoo import build_model
+    from ..planner.planner import FusePlanner
+
+    graph = build_model(model, dtype)
+    planner = FusePlanner(gpu, convention, max_chain=max_chain, calibration=calibration)
+    return planner.plan(graph)
+
+
 @dataclass(frozen=True)
 class RouteDecision:
     """One routing trace entry (``fleet --explain`` renders these)."""
@@ -308,6 +325,67 @@ class Fleet:
         self._next_worker_id += 1
         self.workers.append(worker)
         return worker
+
+    # ---- boot-time preplanning ---------------------------------------------------
+    def preplan(
+        self,
+        models: Sequence[str],
+        dtypes: Sequence[DType] = (DType.FP32,),
+        *,
+        workers: int = 1,
+    ) -> int:
+        """Plan every (worker GPU, model, dtype) combination before serving.
+
+        Planning is the expensive boot-time step, and distinct plan
+        identities are independent — so ``workers > 1`` fans them over a
+        process pool (one planner pass per *distinct* ``(gpu, model,
+        dtype)``; homogeneous fleets plan each identity once and install it
+        on every worker sharing that GPU).  Plans land via
+        :meth:`PlanCache.install`, counted as ``warm_starts``: the replay's
+        plan-once accounting is identical for every worker count, and the
+        plans themselves are bit-identical because the planner is
+        deterministic per task.  Returns the number of cache installs.
+        """
+        if workers < 1:
+            raise PlanError(f"workers must be >= 1, got {workers}")
+        convention = self._server_kwargs["convention"]
+        max_chain = self._server_kwargs["max_chain"]
+        calibration = self._server_kwargs["calibration"]
+        jobs: list[tuple] = []
+        seen: set[tuple[str, str, str]] = set()
+        for w in self.workers:
+            for model in models:
+                for dtype in dtypes:
+                    ident = (w.gpu.name, model, dtype.value)
+                    if ident not in seen:
+                        seen.add(ident)
+                        jobs.append((w.gpu, model, dtype, convention, max_chain, calibration))
+        if workers == 1 or len(jobs) <= 1:
+            plans = [_preplan_job(job) for job in jobs]
+        else:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)), mp_context=ctx
+            ) as pool:
+                plans = list(pool.map(_preplan_job, jobs))
+        by_ident = {
+            (job[0].name, job[1], job[2].value): plan for job, plan in zip(jobs, plans)
+        }
+        installed = 0
+        for w in self.workers:
+            for model in models:
+                for dtype in dtypes:
+                    plan = by_ident[(w.gpu.name, model, dtype.value)]
+                    before = w.server.cache.stats.warm_starts
+                    w.server.cache.install(
+                        model, dtype, w.gpu, convention, max_chain, plan=plan
+                    )
+                    installed += w.server.cache.stats.warm_starts - before
+        return installed
 
     # ---- elasticity (driven by repro.serve.autoscale) ---------------------------
     def add_worker(self, gpu: GpuSpec) -> FleetWorker:

@@ -837,6 +837,7 @@ def fleet_replay(
     db=None,
     calibration=None,
     engine: str | None = None,
+    workers: int = 1,
 ) -> FleetStreamReport:
     """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
 
@@ -857,6 +858,13 @@ def fleet_replay(
     ``autoscale`` binds a reactive :class:`~repro.serve.autoscale.
     Autoscaler` to the fleet; it observes the backlog at every arrival and
     during the drain, and its decisions land in ``scale_events``.
+
+    ``workers > 1`` preplans every (GPU, model, dtype) the stream will
+    touch over a process pool (:meth:`Fleet.preplan`) before the replay
+    clock starts: per-worker planning scales across cores and never lands
+    on the serving critical path.  The plans — and therefore the replayed
+    stream — are identical for every worker count; only boot wall-clock
+    changes.
     """
     clock = FakeClock()
     if fleet is None:
@@ -879,10 +887,6 @@ def fleet_replay(
         clock = fleet.clock
     else:
         raise PlanError("fleet_replay needs a fleet driven by a FakeClock")
-    # Anything planned so far (warm start, or a pre-used fleet) happened at
-    # boot: replay-time planning is what the critical-path accounting tracks.
-    boot_invocations = fleet.stats().planner_invocations
-
     if request_trace is not None:
         entries = list(request_trace)
         _validate_trace(entries)
@@ -910,6 +914,16 @@ def fleet_replay(
             for i, t in enumerate(times)
         ]
         offered_rate = rate_rps
+
+    if workers < 1:
+        raise PlanError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        dtypes = tuple(dict.fromkeys(DType(e.dtype) for e in entries))
+        fleet.preplan(model_list, dtypes, workers=workers)
+    # Anything planned so far (warm start, preplan, or a pre-used fleet)
+    # happened at boot: replay-time planning is what the critical-path
+    # accounting tracks.
+    boot_invocations = fleet.stats().planner_invocations
 
     controller = admission_controller(admission)
     scaler = autoscale.bind(fleet) if autoscale is not None else None

@@ -397,6 +397,24 @@ def measure_model(
     )
 
 
+def _measure_one_job(job: tuple) -> tuple[str, ModelMeasurement]:
+    """Worker-process entry: measure one (model, GPU) into a fresh DB.
+
+    Returns the child DB's canonical dump (a string pickles cheaply and
+    keeps the merge on the parent side, where ordering is controlled) plus
+    the measurement summary.  Module-level so it is picklable by spawn-based
+    pools too.
+    """
+    (model, gpu, dtype, convention, max_chain, mode, iterations, seed, backend, engine) = job
+    child = TuningDB()
+    mm = measure_model(
+        model, gpu, dtype, db=child, convention=convention,
+        max_chain=max_chain, mode=mode, iterations=iterations,
+        seed=seed, backend=backend, engine=engine,
+    )
+    return child.dumps(), mm
+
+
 def tune_models(
     models: list[str] | tuple[str, ...],
     gpus: list[GpuSpec] | tuple[GpuSpec, ...],
@@ -410,17 +428,45 @@ def tune_models(
     seed: int = 0,
     backend: str = "counters",
     engine: str | None = None,
+    workers: int = 1,
 ) -> tuple[TuningDB, list[ModelMeasurement]]:
-    """Measure every (model, GPU) combination into one DB (CLI ``tune run``)."""
+    """Measure every (model, GPU) combination into one DB (CLI ``tune run``).
+
+    ``workers > 1`` fans the (model, GPU) tasks over a process pool.  Each
+    task is already deterministic in isolation (seeded search, analytic
+    counters), and the parent merges child DBs *in submission order* with
+    the best-record-per-key / ties-keep-incumbent rule — so the resulting
+    DB is byte-identical for every worker count.  ``records_added`` in the
+    returned summaries is recomputed as the records each task contributed
+    to the merged DB, matching the serial accounting.
+    """
+    if workers < 1:
+        raise TuneError(f"workers must be >= 1, got {workers}")
     db = db if db is not None else TuningDB()
+    jobs = [
+        (model, gpu, dtype, convention, max_chain, mode, iterations, seed, backend, engine)
+        for gpu in gpus
+        for model in models
+    ]
     out: list[ModelMeasurement] = []
-    for gpu in gpus:
-        for model in models:
-            out.append(
-                measure_model(
-                    model, gpu, dtype, db=db, convention=convention,
-                    max_chain=max_chain, mode=mode, iterations=iterations,
-                    seed=seed, backend=backend, engine=engine,
-                )
-            )
+    if workers == 1 or len(jobs) <= 1:
+        for job in jobs:
+            out.append(measure_model(job[0], job[1], dtype, db=db, convention=convention,
+                                     max_chain=max_chain, mode=mode, iterations=iterations,
+                                     seed=seed, backend=backend, engine=engine))
+        return db, out
+
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+    from dataclasses import replace as _replace
+
+    # fork shares the warmed geometry memo / pow2 caches with the children
+    # for free; spawn-only platforms still work, just with cold caches.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs)), mp_context=ctx) as pool:
+        results = list(pool.map(_measure_one_job, jobs))
+    for dumped, mm in results:  # submission order == the serial sweep order
+        adopted = db.merge(TuningDB.loads(dumped))
+        out.append(_replace(mm, records_added=adopted))
     return db, out
