@@ -51,6 +51,9 @@ profile:
 docs-check:
 	$(PYTHON) tools/docs_check.py README.md docs/architecture.md
 
-## static checks (ruff is provisioned in CI; run `pip install ruff` locally)
+## static checks: ruff (provisioned in CI; run `pip install ruff` locally)
+## plus the in-tree AST invariant linter (determinism / parity / layering —
+## see repro.analysis), which emits the canonical JSON report CI archives
 lint:
+	$(PYTHON) -m repro.analysis src --format json --output ANALYSIS_report.json
 	$(PYTHON) -m ruff check src tests benchmarks tools examples

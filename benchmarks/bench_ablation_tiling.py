@@ -9,7 +9,6 @@
    the paper's Table II type shift).
 """
 
-import numpy as np
 
 from repro.core.dtypes import DType
 from repro.core.fcm import FcmType, candidate_fcm_types

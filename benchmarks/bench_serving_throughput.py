@@ -7,7 +7,6 @@ img/s, per-image latency and energy per batch size, plus a replayed request
 stream's p50/p99 latency under micro-batching.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.dtypes import DType

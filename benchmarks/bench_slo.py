@@ -11,7 +11,6 @@ records how admission behaviour moves as the cost model evolves.
 bench-smoke` stays fast.
 """
 
-import pytest
 
 from repro.experiments import format_table
 from repro.gpu.specs import RTX_A4000

@@ -8,7 +8,6 @@ memory size, and shows the fused-layer fraction and module mix responding.
 Run:  python examples/custom_gpu.py
 """
 
-from dataclasses import replace
 
 from repro import DType
 from repro.gpu import GpuSpec

@@ -9,7 +9,6 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import DType, FcmType
 from repro.gpu import RTX_A4000
 from repro.ir import ConvKind, ConvSpec
 from repro.kernels import build_fcm_kernel, build_lbl_kernel, chain_quant, make_layer_params

@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` — run the invariant linter."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

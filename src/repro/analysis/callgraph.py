@@ -1,0 +1,106 @@
+"""Name-based call graph: which functions are reachable from which roots.
+
+Python's dynamism rules out a sound call graph without running the code, so
+this is a deliberate *over*-approximation: every ``f(...)`` or ``obj.f(...)``
+call site links to **every** analyzed function named ``f``.  For the
+determinism rule (RPR003) that bias is the safe one — a function falsely
+considered reachable from a canonical serializer gets *checked*, never
+skipped, and a reasoned suppression comment handles the rare false hit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["CallGraph", "FunctionDefSite", "build_call_graph"]
+
+
+@dataclass(frozen=True)
+class FunctionDefSite:
+    """One function/method definition in the analyzed set."""
+
+    path: str
+    module: str
+    qualname: str
+    name: str
+    node: ast.AST
+
+    def __hash__(self) -> int:  # node identity keeps sites distinct
+        return hash((self.module, self.qualname, id(self.node)))
+
+
+def _walk_functions(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Yield (qualname, def-node) for every function, methods included."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def _called_names(fn_node: ast.AST) -> set[str]:
+    """Bare names of everything this function's body calls."""
+    names: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name):
+                names.add(fn.id)
+            elif isinstance(fn, ast.Attribute):
+                names.add(fn.attr)
+    return names
+
+
+@dataclass
+class CallGraph:
+    """Defs indexed by bare name plus per-def called-name sets."""
+
+    defs_by_name: dict[str, tuple[FunctionDefSite, ...]]
+    calls: dict[FunctionDefSite, frozenset[str]]
+
+    def reachable_from(self, root_names: Iterable[str]) -> set[FunctionDefSite]:
+        """Every def reachable from defs with the given bare names."""
+        frontier = [
+            site for name in sorted(set(root_names))
+            for site in self.defs_by_name.get(name, ())
+        ]
+        seen: set[FunctionDefSite] = set(frontier)
+        while frontier:
+            site = frontier.pop()
+            for called in sorted(self.calls.get(site, frozenset())):
+                for target in self.defs_by_name.get(called, ()):
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+        return seen
+
+
+def build_call_graph(infos) -> CallGraph:
+    """Index every function def and its called names across the module set."""
+    defs_by_name: dict[str, list[FunctionDefSite]] = {}
+    calls: dict[FunctionDefSite, frozenset[str]] = {}
+    for info in infos:
+        for qualname, node in _walk_functions(info.tree):
+            site = FunctionDefSite(
+                path=info.path,
+                module=info.module,
+                qualname=qualname,
+                name=qualname.rsplit(".", 1)[-1],
+                node=node,
+            )
+            defs_by_name.setdefault(site.name, []).append(site)
+            calls[site] = frozenset(_called_names(node))
+    return CallGraph(
+        defs_by_name={k: tuple(v) for k, v in defs_by_name.items()},
+        calls=calls,
+    )

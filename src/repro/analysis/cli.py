@@ -1,0 +1,71 @@
+"""Analyzer command line: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 findings, 2 usage error — so ``make lint`` and CI
+gate on it directly.  ``repro.cli lint`` is a thin alias of this entry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .base import resolve_rules, rule_registry
+from .reporters import render_json, render_text
+from .runner import analyze_paths
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="AST invariant linter: determinism, parity and layering "
+                    "contracts over the repro source tree",
+        epilog=(
+            "examples:\n"
+            "  python -m repro.analysis src\n"
+            "  python -m repro.analysis src --format json --output ANALYSIS_report.json\n"
+            "  python -m repro.analysis src/repro/serve --rules RPR001,RPR006\n"
+            "  python -m repro.analysis --list-rules"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="report format (default text; json is canonical "
+                             "byte-stable)")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--output", default="",
+                        help="also write the report to this file")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule vocabulary and exit")
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.list_rules:
+            registry = rule_registry()
+            for rule_id in resolve_rules(None):
+                print(f"{rule_id}  {registry[rule_id].title}")
+            return 0
+        findings, ctx = analyze_paths(args.paths or ["src"], args.rules or None)
+    except AnalysisError as exc:
+        print(f"repro.analysis: error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    report = render(findings, ctx.rule_ids, len(ctx.modules))
+    print(report, end="" if report.endswith("\n") else "\n")
+    if args.output:
+        out = report if report.endswith("\n") else report + "\n"
+        Path(args.output).write_text(out, encoding="utf-8")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Module import graph: edges, package layering, cycle detection.
+
+Two granularities matter for the architecture contract (RPR004):
+
+* **module-level** edges (imports executed at import time, including
+  ``TYPE_CHECKING`` blocks) — these are what can form genuine import
+  cycles, detected here via Tarjan's strongly-connected components;
+* **all** edges (module-level plus function-local lazy imports) — the
+  layering DAG applies to both, because a lazy upward import is still an
+  architectural dependency even when it dodges the runtime cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import ModuleInfo
+
+__all__ = ["ImportEdge", "ImportGraph", "build_import_graph"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import of ``target`` by ``source`` (dotted module names)."""
+
+    source: str
+    target: str
+    line: int
+    module_level: bool
+
+
+@dataclass
+class ImportGraph:
+    """All intra-namespace import edges of an analyzed module set."""
+
+    modules: tuple[str, ...]
+    edges: tuple[ImportEdge, ...]
+    #: source module -> targets, module-level edges only (cycle semantics).
+    module_level: dict[str, set[str]] = field(default_factory=dict)
+
+    def cycles(self) -> list[tuple[str, ...]]:
+        """Import cycles as sorted SCCs of the module-level graph.
+
+        Returns one tuple per strongly-connected component of size > 1
+        (or a self-loop), each sorted, the list sorted — deterministic
+        output for reports and tests.
+        """
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[tuple[str, ...]] = []
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan: (node, iterator) frames, no recursion limit.
+            work = [(v, iter(sorted(self.module_level.get(v, ()))))]
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(self.module_level.get(w, ())))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    self_loop = node in self.module_level.get(node, ())
+                    if len(scc) > 1 or self_loop:
+                        sccs.append(tuple(sorted(scc)))
+
+        for v in sorted(self.modules):
+            if v not in index:
+                strongconnect(v)
+        return sorted(sccs)
+
+
+def _resolve_relative(module: str, is_package: bool, level: int, target: str | None) -> str | None:
+    """Resolve ``from ...target import x`` to a dotted module name."""
+    base = module.split(".")
+    if not is_package:
+        base = base[:-1]
+    drop = level - 1
+    if drop > len(base):
+        return None
+    if drop:
+        base = base[:-drop]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+def _iter_imports(info: "ModuleInfo") -> Iterator[tuple[str, int, bool]]:
+    """Yield (target dotted name, line, module_level) for every import."""
+    # A node is module-level when no enclosing function wraps it; class
+    # bodies and top-level if/try blocks still execute at import time.
+    # ``if TYPE_CHECKING:`` blocks never execute, so their imports join the
+    # lazy bucket: layering edges, but exempt from runtime-cycle detection.
+    func_spans: list[tuple[int, int]] = []
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            func_spans.append((node.lineno, node.end_lineno or node.lineno))
+        elif isinstance(node, ast.If):
+            test = node.test
+            attr = test.attr if isinstance(test, ast.Attribute) else None
+            name = test.id if isinstance(test, ast.Name) else None
+            if "TYPE_CHECKING" in (attr, name):
+                func_spans.append((node.lineno, node.end_lineno or node.lineno))
+
+    def at_module_level(line: int) -> bool:
+        return not any(lo <= line <= hi for lo, hi in func_spans)
+
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, at_module_level(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                target = _resolve_relative(
+                    info.module, info.is_package, node.level, node.module
+                )
+                if target is None:
+                    continue
+            else:
+                target = node.module
+                if target is None:
+                    continue
+            level = at_module_level(node.lineno)
+            yield target, node.lineno, level
+            for alias in node.names:
+                # ``from pkg import sub`` binds the submodule pkg.sub.
+                yield f"{target}.{alias.name}", node.lineno, level
+
+
+def build_import_graph(infos: "Iterable[ModuleInfo]") -> ImportGraph:
+    """Build the intra-namespace import graph of an analyzed module set.
+
+    Only edges whose target is (a prefix of) another analyzed module are
+    kept: stdlib and third-party imports are not architecture edges.
+    ``from pkg import name`` resolves to ``pkg.name`` when that is an
+    analyzed module (a submodule import), else to ``pkg``.
+    """
+    infos = list(infos)
+    known = {i.module for i in infos}
+    edges: list[ImportEdge] = []
+    module_level: dict[str, set[str]] = {}
+    for info in infos:
+        seen: set[tuple[str, int, bool]] = set()
+        for target, line, is_mod_level in _iter_imports(info):
+            resolved = None
+            if target in known:
+                resolved = target
+            else:
+                # `from a.b import c` where a.b.c is a module, or an import
+                # of a deeper attribute path: walk prefixes down to a module.
+                parts = target.split(".")
+                for i in range(len(parts), 0, -1):
+                    prefix = ".".join(parts[:i])
+                    if prefix in known:
+                        resolved = prefix
+                        break
+            if resolved is None or resolved == info.module:
+                continue
+            if (resolved, line, is_mod_level) in seen:
+                continue
+            seen.add((resolved, line, is_mod_level))
+            edges.append(ImportEdge(info.module, resolved, line, is_mod_level))
+            if is_mod_level:
+                module_level.setdefault(info.module, set()).add(resolved)
+    return ImportGraph(
+        modules=tuple(sorted(known)),
+        edges=tuple(edges),
+        module_level=module_level,
+    )

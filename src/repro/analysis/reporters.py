@@ -1,0 +1,46 @@
+"""Finding reporters: human-readable text and canonical JSON.
+
+The JSON report follows the house canonical-serialization discipline
+(:meth:`repro.tune.records.TuningDB.dumps`): fixed key set, sorted keys,
+compact separators, findings in canonical order — equal analysis results
+serialize to equal bytes, so CI artifacts diff cleanly run over run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from .base import Finding
+
+__all__ = ["render_json", "render_text"]
+
+#: Bumped when the report layout changes shape.
+REPORT_SCHEMA = 1
+
+
+def render_text(
+    findings: Sequence[Finding], rule_ids: Sequence[str], files_scanned: int
+) -> str:
+    """One ``path:line:col: RULE message`` line per finding plus a summary."""
+    lines = [f.describe() for f in sorted(findings)]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"{len(findings)} {noun} ({files_scanned} files, "
+        f"rules {', '.join(rule_ids)})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], rule_ids: Sequence[str], files_scanned: int
+) -> str:
+    """Canonical JSON report (sorted keys, compact, trailing newline)."""
+    payload = {
+        "kind": "repro-analysis-report",
+        "schema": REPORT_SCHEMA,
+        "rules": list(rule_ids),
+        "files_scanned": files_scanned,
+        "findings": [f.to_json() for f in sorted(findings)],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"

@@ -19,13 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.dtypes import DType
-from ..core.tiling import ceil_div
 from ..errors import PlanError
 from ..gpu.counters import AccessCounters
-from ..gpu.roofline import KernelTiming, time_kernel
+from ..gpu.roofline import time_kernel
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
-from ..ir.layers import ConvKind, ConvSpec
+from ..ir.layers import ConvSpec
 from .autotune import random_search
 from .cudnn import CudnnAlgo, cudnn_timing
 

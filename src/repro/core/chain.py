@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ShapeError, UnsupportedError
+# repro: allow[RPR004] chain IR composes ConvSpec geometry; the core<->ir
+# split predates chain fusion and ir.layers never imports back into core.chain
 from ..ir.layers import ConvKind, ConvSpec
 from .fcm import FcmType
 

@@ -34,3 +34,7 @@ class SimulationError(ReproError):
 
 class TuneError(ReproError):
     """A tuning database is corrupt, from a future schema, or misused."""
+
+
+class AnalysisError(ReproError):
+    """The static analyzer was misused (unknown rule, unparseable target)."""

@@ -15,10 +15,10 @@ import numpy as np
 
 from ..core.dtypes import DType
 from .fig1 import figure1
+from .fig10_fig11 import figure10_11
 from .fig6_fig7 import figure6_7
 from .fig8 import figure8
 from .fig9 import figure9
-from .fig10_fig11 import figure10_11
 from .fusion_cases import table2_rows
 from .reporting import format_table
 from .table3 import table3

@@ -19,9 +19,9 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..core.dtypes import DType
+from ..errors import ShapeError
 from .graph import GlueSpec, ModelGraph
 from .layers import ConvKind, ConvSpec, EpilogueSpec
-from ..errors import ShapeError
 
 __all__ = ["import_model", "import_model_json"]
 

@@ -10,7 +10,6 @@ sit on multi-consumer branches, so FusePlanner correctly never fuses them.
 from __future__ import annotations
 
 from ..core.dtypes import DType
-from ..ir.blocks import standard_conv
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind, ConvSpec, EpilogueSpec
 

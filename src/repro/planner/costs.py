@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.tiling import DwTiling, PwTiling, ceil_div, overlap_elements, tile_input_range
+from ..core.tiling import DwTiling, PwTiling, overlap_elements, tile_input_range
 from ..errors import ShapeError, UnsupportedError
 from ..gpu.specs import GpuSpec
 from ..ir.layers import ConvKind, ConvSpec

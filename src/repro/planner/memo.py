@@ -132,6 +132,8 @@ class GeometryMemo:
         """
         header = _canonical({"kind": _KIND, "schema": SCHEMA_VERSION})
         rows = []
+        # repro: allow[RPR003] keys mix str/int/tuple and cannot be compared
+        # directly; the serialized rows are sorted below instead
         for key, result in self._store.items():
             if result is None:
                 payload = None

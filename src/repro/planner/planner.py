@@ -30,6 +30,7 @@ from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind, ConvSpec
+from .memo import shared_memo
 from .plan import (
     ChainStep,
     ExecutionPlan,
@@ -39,7 +40,6 @@ from .plan import (
     chain_family,
     lbl_family,
 )
-from .memo import shared_memo
 from .search import (
     SearchResult,
     best_chain_tiling,

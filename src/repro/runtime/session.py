@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..baselines.cudnn import CudnnAlgo, cudnn_counters, run_cudnn
-from ..baselines.tvm import TvmConvStep, TvmGlueStep, TvmPlan
+from ..baselines.tvm import TvmConvStep, TvmPlan
 from ..core.dtypes import DType
 from ..errors import PlanError, ShapeError
 from ..gpu.counters import AccessCounters
@@ -30,8 +30,7 @@ from ..gpu.energy import energy_of
 from ..gpu.fastpath import DEFAULT_ENGINE, resolve_engine
 from ..gpu.roofline import KernelTiming, time_kernel
 from ..gpu.specs import GpuSpec
-from ..ir.graph import GlueSpec, ModelGraph
-from ..ir.layers import ConvKind
+from ..ir.graph import ModelGraph
 from ..kernels.registry import build_chain_kernel, build_lbl_kernel
 from ..planner.analytic import chain_counters, lbl_counters
 from ..planner.plan import ExecutionPlan, FcmStep, GlueStep, LblStep, StdStep

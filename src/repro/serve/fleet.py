@@ -276,6 +276,8 @@ class Fleet:
         convention: str = "paper",
         max_chain: int = 2,
         seed: int = 0,
+        # repro: allow[RPR001] injectable-clock default for interactive use;
+        # fleet_replay drives every worker off one shared FakeClock instead
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         db=None,

@@ -32,18 +32,17 @@ from __future__ import annotations
 
 import json
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from collections.abc import Sequence
-
 from ..core.dtypes import DType
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from .admission import AdmissionController, admission_controller
-from .autoscale import AutoscalePolicy, Autoscaler, ScaleEvent
+from .autoscale import AutoscalePolicy, ScaleEvent
 from .cache import PlanCache
 from .fleet import Fleet, FleetWorker, RouteDecision, WorkerStats
 from .server import InferenceResult, ModelServer

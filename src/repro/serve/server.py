@@ -112,6 +112,8 @@ class ModelServer:
         convention: str = "paper",
         max_chain: int = 2,
         seed: int = 0,
+        # repro: allow[RPR001] injectable-clock default for interactive use;
+        # every deterministic replay passes a shared FakeClock instead
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         db=None,

@@ -5,8 +5,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.dtypes import DType
-from repro.ir.blocks import dsc_block, standard_conv
-from repro.ir.graph import GlueSpec, ModelGraph
 from repro.core.ops import (
     apply_activation,
     apply_norm,
@@ -14,6 +12,8 @@ from repro.core.ops import (
     conv2d_pointwise,
     conv2d_standard,
 )
+from repro.ir.blocks import dsc_block, standard_conv
+from repro.ir.graph import GlueSpec, ModelGraph
 from repro.ir.layers import ConvKind, ConvSpec, EpilogueSpec
 from repro.kernels.params import LayerParams
 

@@ -18,7 +18,7 @@ from repro.baselines.cudnn import (
     run_cudnn,
 )
 from repro.baselines.im2col import conv_via_im2col, depthwise_via_im2col, im2col
-from repro.baselines.tvm import TvmCompiler, TvmConvStep, TvmGlueStep
+from repro.baselines.tvm import TvmCompiler, TvmGlueStep
 from repro.core.dtypes import DType
 from repro.core.ops import conv2d_depthwise, conv2d_standard
 from repro.errors import PlanError

@@ -14,7 +14,7 @@ from repro.ir.blocks import dsc_block, inverted_residual_block, standard_conv
 from repro.ir.graph import ModelGraph
 from repro.planner.costs import dw_feasible, pw_feasible
 from repro.planner.fcm_costs import fcm_feasible
-from repro.planner.plan import FcmStep, GlueStep, LblStep, StdStep
+from repro.planner.plan import GlueStep, LblStep, StdStep
 from repro.planner.planner import FusePlanner
 from repro.planner.search import best_fcm_tiling, best_lbl_tiling
 

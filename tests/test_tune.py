@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from helpers import TINY_ZOO, register_tiny_zoo
 from repro.core.dtypes import DType
 from repro.errors import TuneError
 from repro.gpu.specs import GTX1660, RTX_A4000
@@ -32,8 +33,6 @@ from repro.tune.records import (
     TuningRecord,
     spec_geometry,
 )
-
-from helpers import TINY_ZOO, register_tiny_zoo
 
 
 def _key(family="lbl-pw", geometry=("pw", 8, 16, 12, 12, 1, 1, 0),
