@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-slo test-planner bench-smoke bench tune-smoke docs-check lint profile
+.PHONY: test test-slo test-planner bench-smoke bench tune-smoke trace-smoke docs-check lint profile
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
@@ -26,7 +26,8 @@ bench-smoke:
 	    benchmarks/bench_kernel_simulation.py \
 	    benchmarks/bench_slo.py \
 	    benchmarks/bench_tuning.py \
-	    benchmarks/bench_planner_speed.py --smoke \
+	    benchmarks/bench_planner_speed.py \
+	    benchmarks/bench_obs_overhead.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 
 ## measure one model on one GPU and emit the tuning DB (TUNE_smoke.json);
@@ -36,6 +37,15 @@ tune-smoke:
 	$(PYTHON) -m repro.cli tune run --models mobilenet_v1 --gpus GTX \
 	    --db TUNE_smoke.json --mode guided --iterations 8
 	$(PYTHON) -m repro.cli tune show --db TUNE_smoke.json
+
+## short deterministic autoscaled fleet replay -> Chrome-trace JSON +
+## Prometheus text (TRACE_smoke.json / METRICS_smoke.txt, CI artifacts),
+## then the offline trace summary as a smoke test of tools/trace_view.py
+trace-smoke:
+	$(PYTHON) -m repro.cli fleet --gpus RTX,RTX --models mobilenet_v2,xception \
+	    --requests 48 --rate 20000 --autoscale 1:4 --cooldown-ms 2 \
+	    --trace-out TRACE_smoke.json --metrics-out METRICS_smoke.txt
+	$(PYTHON) tools/trace_view.py TRACE_smoke.json
 
 ## every paper artifact + the serving sweep (slow)
 bench:

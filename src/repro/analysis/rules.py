@@ -1,4 +1,4 @@
-"""The shipped invariant rules, RPR001 through RPR006.
+"""The shipped invariant rules, RPR001 through RPR007.
 
 Each rule enforces a contract the dynamic test suite defends end-to-end;
 see the class docstrings for the mapping.  Real, audited exceptions are
@@ -47,10 +47,13 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "analysis": frozenset({"errors"}),
     "core": frozenset({"errors"}),
+    # obs sits at the bottom: spans/metrics/exporters duck-type everything
+    # they record, so any layer may emit into them without new edges.
+    "obs": frozenset({"errors"}),
     "ir": frozenset({"core", "errors"}),
     "gpu": frozenset({"core", "errors"}),
     "models": frozenset({"core", "errors", "ir"}),
-    "planner": frozenset({"core", "errors", "gpu", "ir"}),
+    "planner": frozenset({"core", "errors", "gpu", "ir", "obs"}),
     "kernels": frozenset({"core", "errors", "gpu", "ir", "planner"}),
     "baselines": frozenset({"core", "errors", "gpu", "ir", "kernels"}),
     "runtime": frozenset(
@@ -60,10 +63,10 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     # duck-typed, never by import — keep it that way.
     "tune": frozenset(
         {"baselines", "core", "errors", "gpu", "ir", "kernels", "models",
-         "planner", "runtime"}
+         "obs", "planner", "runtime"}
     ),
     "serve": frozenset(
-        {"core", "errors", "gpu", "ir", "models", "planner", "runtime"}
+        {"core", "errors", "gpu", "ir", "models", "obs", "planner", "runtime"}
     ),
     "experiments": frozenset(
         {"baselines", "core", "errors", "gpu", "ir", "kernels", "models",
@@ -71,7 +74,7 @@ LAYER_DEPS: dict[str, frozenset[str]] = {
     ),
     "cli": frozenset(
         {"analysis", "core", "errors", "experiments", "gpu", "ir", "models",
-         "planner", "runtime", "serve", "tune"}
+         "obs", "planner", "runtime", "serve", "tune"}
     ),
 }
 
@@ -519,10 +522,61 @@ class SubmissionOrderRule(Rule):
                     )
 
 
+@register_rule
+class SpanContextRule(Rule):
+    """RPR007: spans open only through ``with tracer.span(...)``.
+
+    The context-manager form is what guarantees every span closes (and
+    records) exactly once, even when the body raises — which the
+    byte-identical trace exports depend on.  A manual ``start``/``end``
+    pair can leak an unbalanced span on any exception path, and a bare
+    ``tracer.span(...)`` call outside a ``with`` opens a span that never
+    closes.  Explicit-interval recording belongs to ``add_span`` (no clock
+    reads, no open state), which this rule deliberately leaves alone.
+    """
+
+    rule_id = "RPR007"
+    title = "spans opened via context manager only"
+
+    #: Manual open/close method names — the API shape this rule bans.
+    _MANUAL = frozenset({"start_span", "end_span", "span_start", "span_end"})
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        for info in ctx.modules:
+            with_exprs: set[int] = set()
+            for node in ast.walk(info.tree):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        with_exprs.add(id(item.context_expr))
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call) \
+                        or not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr in self._MANUAL:
+                    yield _finding(
+                        info, node, self.rule_id,
+                        f"manual span API `.{node.func.attr}(...)`: open spans "
+                        "with `with tracer.span(...)` so they always close",
+                    )
+                elif node.func.attr == "span" and id(node) not in with_exprs:
+                    dotted = _dotted(node.func.value)
+                    if dotted is None:
+                        continue
+                    receiver = dotted.split(".")[-1].lstrip("_").lower()
+                    if "tracer" in receiver:
+                        yield _finding(
+                            info, node, self.rule_id,
+                            f"`{dotted}.span(...)` outside a `with` opens a "
+                            "span that never closes; use "
+                            "`with tracer.span(...)`",
+                        )
+
+
 #: Canonical ordered rule vocabulary (the resolver's `ENGINES` analogue).
 ALL_RULE_IDS: tuple[str, ...] = tuple(sorted(
     cls.rule_id for cls in (
         WallClockRule, UnseededRngRule, SerializerOrderRule,
         LayeringRule, RegistryParityRule, SubmissionOrderRule,
+        SpanContextRule,
     )
 ))

@@ -149,6 +149,31 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_sinks(args: argparse.Namespace):
+    """Build (tracer, metrics) for --trace-out/--metrics-out, or Nones.
+
+    Sinks are only instantiated when the matching flag was given, so the
+    default CLI path keeps the zero-overhead NullTracer/NullMetrics."""
+    from .obs import MetricsRegistry, Tracer
+
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    return tracer, metrics
+
+
+def _export_obs(args: argparse.Namespace, tracer, metrics) -> None:
+    """Write the requested exporter files and tell the operator where."""
+    from .obs import write_chrome_trace, write_prometheus
+
+    if tracer is not None:
+        path = write_chrome_trace(tracer, args.trace_out)
+        print(f"trace: {len(tracer.spans)} spans, {len(tracer.instants)} "
+              f"instant events -> {path}")
+    if metrics is not None:
+        path = write_prometheus(metrics, args.metrics_out)
+        print(f"metrics: {len(metrics.families())} families -> {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import time
 
@@ -167,6 +192,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     wall_s = time.perf_counter() - t0  # repro: allow[RPR001] same display-only wall clock
     print(report.describe())
     print(f"engine: {session.engine}; host wall clock {wall_s * 1e3:.1f} ms")
+    tracer, metrics = _obs_sinks(args)
+    if tracer is not None or metrics is not None:
+        # One-shot runs have no replay clock: lay the batch at t=0 on the
+        # GPU's lane, timed by the report's simulated latency.
+        from .obs import record_session_report, resolve_metrics, resolve_tracer
+
+        record_session_report(
+            resolve_tracer(tracer), resolve_metrics(metrics), report,
+            start_s=0.0, pid=session.gpu.name, engine=session.engine,
+        )
+        _export_obs(args, tracer, metrics)
     return 0
 
 
@@ -230,6 +266,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.db:
         db, calibration = _load_tuning(args.db)
     slo = _slo_kwargs(args)
+    tracer, metrics = _obs_sinks(args)
     if args.gpus:
         trace = slo.pop("trace", None)
         report = fleet_replay(
@@ -248,6 +285,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             db=db,
             calibration=calibration,
             engine=args.engine,
+            tracer=tracer,
+            metrics=metrics,
             **slo,
         )
     else:
@@ -267,9 +306,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             db=db,
             calibration=calibration,
             engine=args.engine,
+            tracer=tracer,
+            metrics=metrics,
             **slo,
         )
     print(report.describe())
+    _export_obs(args, tracer, metrics)
     return 0
 
 
@@ -363,6 +405,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.db:
         db, calibration = _load_tuning(args.db)
     slo = _slo_kwargs(args)
+    tracer, metrics = _obs_sinks(args)
     report = fleet_replay(
         _fleet_gpus(args.gpus),
         args.models.split(","),
@@ -381,9 +424,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         db=db,
         calibration=calibration,
         workers=args.workers,
+        tracer=tracer,
+        metrics=metrics,
         **slo,
     )
     print(report.describe())
+    _export_obs(args, tracer, metrics)
     if args.explain and report.routing_trace:
         print("\nrouting trace (one line per request):")
         for decision in report.routing_trace:
@@ -520,7 +566,9 @@ _EPILOGS: dict[str, str] = {
         "examples:\n"
         "  python -m repro.cli run mobilenet_v2 --gpu RTX\n"
         "  python -m repro.cli run mobilenet_v1 --engine reference  # per-block launches\n"
-        "  python -m repro.cli run xception --dtype int8 --batch 4"
+        "  python -m repro.cli run xception --dtype int8 --batch 4\n"
+        "  python -m repro.cli run mobilenet_v2 --trace-out TRACE_run.json "
+        "--metrics-out METRICS_run.txt"
     ),
     "chains": (
         "examples:\n"
@@ -535,7 +583,9 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli serve mobilenet_v2 --slo-ms 5 --admission degrade "
         "--arrival lognormal\n"
         "  python -m repro.cli serve mobilenet_v2 --trace requests.jsonl --slo-ms 5\n"
-        "  python -m repro.cli serve mobilenet_v2 --engine reference  # interpreted path"
+        "  python -m repro.cli serve mobilenet_v2 --engine reference  # interpreted path\n"
+        "  python -m repro.cli serve mobilenet_v2 --trace-out TRACE_serve.json "
+        "--metrics-out METRICS_serve.txt"
     ),
     "bench-serve": (
         "examples:\n"
@@ -555,7 +605,9 @@ _EPILOGS: dict[str, str] = {
         "--autoscale 1:4 --cooldown-ms 2\n"
         "  python -m repro.cli fleet --gpus GTX,RTX --db TUNE_zoo.json  # warm start\n"
         "  python -m repro.cli fleet --gpus RTX,RTX,Orin --workers 4  "
-        "# parallel boot-time preplanning"
+        "# parallel boot-time preplanning\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX --autoscale 1:4 "
+        "--trace-out TRACE_fleet.json --metrics-out METRICS_fleet.txt"
     ),
     "tune": (
         "examples:\n"
@@ -622,6 +674,17 @@ def _add_slo_args(p: argparse.ArgumentParser) -> None:
                         "(default 0)")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """The observability exporter flags shared by run, serve and fleet."""
+    p.add_argument("--trace-out", default="",
+                   help="write a Chrome-trace/Perfetto JSON of the run to "
+                        "this file (open in ui.perfetto.dev or "
+                        "chrome://tracing)")
+    p.add_argument("--metrics-out", default="",
+                   help="write Prometheus text-exposition metrics of the "
+                        "run to this file")
+
+
 def _add_cmd(sub, name: str, fn, help_: str) -> argparse.ArgumentParser:
     p = sub.add_parser(
         name,
@@ -682,6 +745,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="planner chain cap (default 2)")
     p.add_argument("--seed", type=int, default=0,
                    help="input RNG seed (default 0)")
+    _add_obs_args(p)
 
     p = _add_cmd(sub, "chains", _cmd_chains,
                  "compare pairwise (max-chain 2) vs chain fusion per model")
@@ -723,6 +787,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["fast", "reference"], default="fast",
                    help="execution engine for functional batches "
                         "(default fast)")
+    _add_obs_args(p)
 
     p = _add_cmd(sub, "bench-serve", _cmd_bench_serve,
                  "sweep batch size x model and report serving throughput")
@@ -787,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "plans every (GPU, model, dtype) before the stream "
                         "starts, off the serving critical path (default 1, "
                         "plan on first request)")
+    _add_obs_args(p)
 
     p = _add_cmd(sub, "lint", _cmd_lint,
                  "run the AST invariant linter (repro.analysis) over the tree")

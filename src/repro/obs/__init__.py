@@ -1,0 +1,62 @@
+"""Deterministic observability: spans, metrics, canonical exporters.
+
+The obs layer turns every replay into an inspectable timeline without
+perturbing it: spans and instants are stamped from the injected clock
+(:class:`~repro.serve.loadgen.FakeClock` in replays), metrics use fixed
+bucket boundaries and canonical ordering, and both exporters are
+byte-stable — two identical replays produce identical Chrome-trace JSON
+and Prometheus text.  Everything defaults to the shared no-op
+:data:`NULL_TRACER` / :data:`NULL_METRICS`, so with observability off the
+serving hot path (and every report it produces) is bit-identical to a
+build without this package.
+"""
+
+from .export import (
+    chrome_trace_json,
+    prometheus_text,
+    record_session_report,
+    write_chrome_trace,
+    write_prometheus,
+)
+from .metrics import (
+    BATCH_SIZE_BUCKETS,
+    NULL_METRICS,
+    QUEUE_WAIT_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    resolve_metrics,
+)
+from .trace import (
+    NULL_TRACER,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    resolve_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "InstantRecord",
+    "resolve_tracer",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "resolve_metrics",
+    "QUEUE_WAIT_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+    "record_session_report",
+]

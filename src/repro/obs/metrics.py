@@ -1,0 +1,237 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a name-keyed collection of instruments whose
+exposition order is canonical (names sorted, label sets sorted), so the
+Prometheus text rendered by :func:`repro.obs.export.prometheus_text` is
+byte-stable across identical replays.  Histograms use *fixed* bucket
+boundaries declared at creation time — never data-derived — so two runs
+observing the same values produce identical bucket vectors.
+
+:data:`NULL_METRICS` is the zero-cost default registry: every instrument
+it hands out is a shared no-op, mirroring :data:`repro.obs.trace.NULL_TRACER`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import PlanError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "resolve_metrics",
+    "QUEUE_WAIT_BUCKETS_S",
+    "BATCH_SIZE_BUCKETS",
+]
+
+#: Fixed queue-wait buckets (seconds): 10 µs .. 100 ms, 1-3-10 ladder.
+QUEUE_WAIT_BUCKETS_S = (1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1)
+
+#: Fixed batch-size buckets (requests per flushed batch), powers of two.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical label identity: sorted (name, value-as-string) pairs."""
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise PlanError(f"invalid metric label name: {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing sum, one series per label set."""
+
+    kind = "counter"
+    enabled = True
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.series: dict = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise PlanError(f"counter {self.name}: negative increment {amount}")
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+
+class Gauge:
+    """Last-write-wins instantaneous value, one series per label set."""
+
+    kind = "gauge"
+    enabled = True
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.series: dict = {}
+
+    def set(self, value: float, **labels) -> None:
+        self.series[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+
+class _HistogramSeries:
+    """Cumulative bucket counts + sum/count for one label set."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed-boundary histogram with Prometheus-style cumulative buckets.
+
+    ``buckets`` are the finite upper bounds (strictly increasing); the
+    implicit ``+Inf`` bucket is the series count.  Bucket counts are stored
+    cumulatively — ``bucket_counts[i]`` is the number of observations
+    ``<= buckets[i]`` — matching the exposition format directly.
+    """
+
+    kind = "histogram"
+    enabled = True
+
+    def __init__(self, name: str, buckets: tuple, help: str = "") -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise PlanError(f"histogram {name}: needs at least one bucket bound")
+        for bound in bounds:
+            if not math.isfinite(bound):
+                raise PlanError(f"histogram {name}: non-finite bucket bound {bound}")
+        if any(lo >= hi for lo, hi in zip(bounds, bounds[1:])):
+            raise PlanError(f"histogram {name}: bucket bounds must strictly increase")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.series: dict = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _HistogramSeries(len(self.buckets))
+        value = float(value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+        series.sum += value
+        series.count += 1
+
+
+class MetricsRegistry:
+    """Get-or-create registry; re-registration with a different shape fails."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        if not _NAME_RE.match(name):
+            raise PlanError(f"invalid metric name: {name!r}")
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise PlanError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"not {cls.kind}"
+                )
+            want = kwargs.get("buckets")
+            if want is not None and existing.buckets != tuple(float(b) for b in want):
+                raise PlanError(f"histogram {name!r} re-registered with different buckets")
+            return existing
+        instrument = cls(name, help=help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, buckets: tuple, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def families(self) -> list:
+        """All instruments in canonical (name-sorted) exposition order."""
+        return [self._instruments[name] for name in sorted(self._instruments)]
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram (all mutators discard)."""
+
+    __slots__ = ()
+    kind = "null"
+    enabled = False
+    name = "null"
+    help = ""
+    series: dict = {}
+    buckets: tuple = ()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        return None
+
+    def set(self, value: float, **labels) -> None:
+        return None
+
+    def observe(self, value: float, **labels) -> None:
+        return None
+
+    def value(self, **labels) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The zero-cost default registry: hands out one shared no-op instrument."""
+
+    enabled = False
+
+    def __len__(self) -> int:
+        return 0
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets: tuple, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def families(self) -> list:
+        return []
+
+
+#: The shared no-op registry every component defaults to.
+NULL_METRICS = NullMetrics()
+
+
+def resolve_metrics(metrics: "MetricsRegistry | NullMetrics | None"):
+    """``None`` -> the shared :data:`NULL_METRICS` (the house resolver idiom)."""
+    return NULL_METRICS if metrics is None else metrics

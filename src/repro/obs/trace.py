@@ -1,0 +1,236 @@
+"""Deterministic tracing: nested spans timestamped by an injected clock.
+
+A :class:`Tracer` records :class:`SpanRecord` intervals and
+:class:`InstantRecord` point events against whatever clock callable it is
+handed — the serving replays bind their shared
+:class:`~repro.serve.loadgen.FakeClock`, so two identical replays produce
+byte-identical traces (see :func:`repro.obs.export.chrome_trace_json`).
+There is deliberately no wall-clock default: a tracer without a clock
+stamps everything at ``t=0`` rather than reading host time, keeping the
+whole layer inside the injectable-clock discipline (RPR001).
+
+Spans are opened **only** through the ``with tracer.span(...)`` context
+manager (enforced by analysis rule RPR007 — no manual start/end pairs can
+leak an unbalanced span).  Work whose true interval is computed by a
+discrete-event loop *after* the fact — device occupancy, per-step kernel
+timelines — is recorded with :meth:`Tracer.add_span`, which takes explicit
+start/end instants and never touches the clock.
+
+:data:`NULL_TRACER` (a :class:`NullTracer`) is the zero-cost default every
+serving component falls back to: all methods are no-ops, so the hot path
+with observability off is byte-identical to a build without it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = [
+    "SpanRecord",
+    "InstantRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "resolve_tracer",
+]
+
+
+def _attr_items(attrs: dict) -> tuple:
+    """Canonical (sorted, tuple-frozen) attribute form for records."""
+    return tuple(sorted(attrs.items()))
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a named interval on a (pid, tid) lane."""
+
+    seq: int  # creation order, the total-order tiebreaker for exports
+    name: str
+    start_s: float
+    end_s: float
+    pid: str  # process lane (worker name in fleet traces)
+    tid: int  # thread lane (0 = execution, 1 = occupancy, 2+i = request i)
+    depth: int  # nesting depth at open time (0 for add_span intervals)
+    parent_seq: int  # seq of the enclosing open span, -1 for roots
+    attrs: tuple = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class InstantRecord:
+    """One point event (admission verdicts, routing, scale actions)."""
+
+    seq: int
+    name: str
+    t_s: float
+    pid: str
+    attrs: tuple = ()
+
+
+class Tracer:
+    """Collects spans/instants against an injected clock (see module doc).
+
+    Args:
+        clock: zero-argument callable returning the current instant in
+            seconds.  ``None`` (the default) stamps clock-read events at
+            ``0.0``; replay harnesses re-bind their own
+            :class:`~repro.serve.loadgen.FakeClock` via :attr:`clock`.
+        pid: default process lane for records that don't name one.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, clock: "Callable[[], float] | None" = None, *, pid: str = "repro"
+    ) -> None:
+        self.clock = clock
+        self.pid = pid
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self._stack: list[int] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.instants)
+
+    def _now(self) -> float:
+        return 0.0 if self.clock is None else self.clock()
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    @contextmanager
+    def span(
+        self, name: str, *, pid: "str | None" = None, tid: int = 0, **attrs
+    ) -> Iterator[None]:
+        """Open one nested span; closed (and recorded) when the ``with``
+        block exits, even on error.  Attributes are canonicalized (sorted)
+        at record time."""
+        seq = self._next_seq()
+        parent = self._stack[-1] if self._stack else -1
+        depth = len(self._stack)
+        start = self._now()
+        self._stack.append(seq)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            self.spans.append(
+                SpanRecord(
+                    seq=seq,
+                    name=name,
+                    start_s=start,
+                    end_s=self._now(),
+                    pid=pid if pid is not None else self.pid,
+                    tid=tid,
+                    depth=depth,
+                    parent_seq=parent,
+                    attrs=_attr_items(attrs),
+                )
+            )
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        pid: "str | None" = None,
+        tid: int = 0,
+        **attrs,
+    ) -> None:
+        """Record one complete interval with explicit bounds (no clock read).
+
+        This is the discrete-event form: the serving replays compute a
+        batch's true device interval (``max(now, busy_until)`` onward) after
+        the flush, so the caller — not the clock — owns the timestamps.
+        """
+        self.spans.append(
+            SpanRecord(
+                seq=self._next_seq(),
+                name=name,
+                start_s=start_s,
+                end_s=end_s,
+                pid=pid if pid is not None else self.pid,
+                tid=tid,
+                depth=0,
+                parent_seq=-1,
+                attrs=_attr_items(attrs),
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        *,
+        t_s: "float | None" = None,
+        pid: "str | None" = None,
+        **attrs,
+    ) -> None:
+        """Record one point event at ``t_s`` (default: the clock's now)."""
+        self.instants.append(
+            InstantRecord(
+                seq=self._next_seq(),
+                name=name,
+                t_s=self._now() if t_s is None else t_s,
+                pid=pid if pid is not None else self.pid,
+                attrs=_attr_items(attrs),
+            )
+        )
+
+
+class _NullSpan:
+    """Reusable no-op context manager (one shared instance, zero state)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default tracer: every method is a no-op.
+
+    ``enabled`` is False so hot paths can skip building attribute dicts
+    entirely; calling through anyway is still safe and side-effect free.
+    """
+
+    enabled = False
+    clock = None
+    pid = "null"
+    spans: tuple = ()
+    instants: tuple = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, start_s: float, end_s: float, **attrs) -> None:
+        return None
+
+    def instant(self, name: str, **attrs) -> None:
+        return None
+
+
+#: The shared no-op tracer every component defaults to.
+NULL_TRACER = NullTracer()
+
+
+def resolve_tracer(tracer: "Tracer | NullTracer | None") -> "Tracer | NullTracer":
+    """``None`` -> the shared :data:`NULL_TRACER` (the house resolver idiom)."""
+    return NULL_TRACER if tracer is None else tracer

@@ -30,6 +30,7 @@ from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.graph import GlueSpec, ModelGraph
 from ..ir.layers import ConvKind, ConvSpec
+from ..obs import resolve_metrics, resolve_tracer
 from .memo import shared_memo
 from .plan import (
     ChainStep,
@@ -176,6 +177,8 @@ class FusePlanner:
         calibration=None,
         search_engine: str | None = None,
         memo=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
@@ -185,6 +188,8 @@ class FusePlanner:
         self.calibration = calibration
         self.search_engine = resolve_search_engine(search_engine)
         self.memo = shared_memo() if memo is None else memo
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         self._covered: dict[DType, bool] = {}
         self._lbl_cache: dict[tuple, SearchResult] = {}
         #: memoized chain searches by run geometry; layer names are excluded
@@ -407,6 +412,29 @@ class FusePlanner:
             graph: the model; conv layers must already be at the target
                 precision, or pass ``dtype`` to re-type them on the fly.
         """
+        if not (self.tracer.enabled or self.metrics.enabled):
+            return self._plan_impl(graph, dtype)
+        hits0, misses0 = self.memo.hits, self.memo.misses
+        with self.tracer.span(
+            "planner.plan",
+            model=graph.name,
+            gpu=self.gpu.name,
+            convention=self.convention,
+            max_chain=self.max_chain,
+        ):
+            result = self._plan_impl(graph, dtype)
+        self.metrics.counter(
+            "repro_memo_hits_total", help="GeometryMemo hits during planning"
+        ).inc(self.memo.hits - hits0)
+        self.metrics.counter(
+            "repro_memo_misses_total", help="GeometryMemo misses during planning"
+        ).inc(self.memo.misses - misses0)
+        self.metrics.counter(
+            "repro_plans_total", help="Whole-model planning passes"
+        ).inc(model=graph.name)
+        return result
+
+    def _plan_impl(self, graph: ModelGraph, dtype: DType | None = None) -> ExecutionPlan:
         graph.validate()
         retype = (lambda s: s.with_dtype(dtype)) if dtype is not None else (lambda s: s)
 

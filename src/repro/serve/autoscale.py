@@ -111,6 +111,9 @@ class Autoscaler:
         self._last_action_t: float | None = None
         #: high-water mark of fleet size (reported by fleet_replay).
         self.peak_workers = len(fleet.workers)
+        #: observability rides on the fleet's sinks (no-ops by default).
+        self.tracer = fleet.tracer
+        self.metrics = fleet.metrics
 
     def mean_backlog_s(self, now: float) -> float:
         """The scaling signal: mean estimated backlog per active worker."""
@@ -159,4 +162,18 @@ class Autoscaler:
             self.events.append(event)
             self._last_action_t = now
             self.peak_workers = max(self.peak_workers, event.workers)
+            if self.tracer.enabled or self.metrics.enabled:
+                self.tracer.instant(
+                    f"autoscale.{event.action}",
+                    t_s=now,
+                    pid=event.worker,
+                    backlog_s=event.backlog_s,
+                    workers=event.workers,
+                )
+                self.metrics.counter(
+                    "repro_scale_events_total", help="Autoscaler resize actions"
+                ).inc(action=event.action)
+                self.metrics.gauge(
+                    "repro_fleet_workers", help="Active fleet size after scaling"
+                ).set(event.workers)
         return event

@@ -21,6 +21,7 @@ from ..errors import PlanError
 from ..gpu.specs import GpuSpec
 from ..ir.graph import ModelGraph
 from ..models.zoo import build_model
+from ..obs import resolve_metrics, resolve_tracer
 from ..planner.plan import ExecutionPlan
 from ..planner.planner import FusePlanner
 from ..runtime.network_params import NetworkParams, materialize_network
@@ -125,7 +126,15 @@ class PlanCache:
     refreshes the entry's recency.
     """
 
-    def __init__(self, capacity: int = 8, seed: int = 0, calibration=None) -> None:
+    def __init__(
+        self,
+        capacity: int = 8,
+        seed: int = 0,
+        calibration=None,
+        *,
+        tracer=None,
+        metrics=None,
+    ) -> None:
         if capacity < 1:
             raise PlanError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -134,8 +143,15 @@ class PlanCache:
         #: :class:`repro.tune.calibrate.Calibration`) handed to every
         #: FusePlanner this cache builds.
         self.calibration = calibration
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         self.stats = CacheStats()
         self._entries: OrderedDict[PlanKey, CachedPlan] = OrderedDict()
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self.metrics.counter(
+            "repro_plan_cache_total", help="Plan-cache events by kind"
+        ).inc(amount, event=event)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -166,14 +182,17 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1
+            self._count("hit")
             self._entries.move_to_end(key)
             return entry
         self.stats.misses += 1
+        self._count("miss")
         entry = self._build(key, model, dtype, gpu, convention, max_chain)
         self._entries[key] = entry
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._count("eviction")
         return entry
 
     def install(
@@ -210,7 +229,9 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self._count("eviction")
         self.stats.warm_starts += 1
+        self._count("warm_start")
         return entry
 
     def warm_start(
@@ -256,6 +277,7 @@ class PlanCache:
             except (UnsupportedError, PlanError):
                 continue
             self.stats.warm_starts += 1
+            self._count("warm_start")
             loaded.append(PlanKey.of(model, DType(k.dtype), gpu, convention, max_chain))
         return loaded
 
@@ -270,8 +292,10 @@ class PlanCache:
     ) -> CachedPlan:
         graph = build_model(model, dtype)
         self.stats.planner_invocations += 1
+        self._count("planner_invocation")
         plan = FusePlanner(
-            gpu, convention, max_chain=max_chain, calibration=self.calibration
+            gpu, convention, max_chain=max_chain, calibration=self.calibration,
+            tracer=self.tracer, metrics=self.metrics,
         ).plan(graph)
         params = materialize_network(graph, dtype, self.seed)
         session = InferenceSession(graph, plan, params)

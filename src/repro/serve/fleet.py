@@ -37,6 +37,7 @@ import numpy as np
 from ..core.dtypes import DType
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
+from ..obs import resolve_metrics, resolve_tracer
 from ..runtime.session import SessionReport
 from .cache import PlanKey
 from .server import InferenceResult, ModelServer
@@ -148,6 +149,8 @@ class FleetScheduler:
         *,
         spill_factor: float = 2.0,
         trace: bool = False,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if policy not in POLICIES:
             raise PlanError(f"unknown policy {policy!r}; choose from {POLICIES}")
@@ -159,6 +162,8 @@ class FleetScheduler:
         self.policy = policy
         self.spill_factor = spill_factor
         self.trace: list[RouteDecision] | None = [] if trace else None
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         self._rr = 0
         self._seq = 0
 
@@ -204,6 +209,28 @@ class FleetScheduler:
                     spilled=spilled,
                     backlog_s=backlogs,
                 )
+            )
+        if self.tracer.enabled or self.metrics.enabled:
+            self.tracer.instant(
+                "fleet.route",
+                t_s=now,
+                pid=worker.name,
+                seq=self._seq,
+                model=model,
+                dtype=dtype.value,
+                policy=self.policy,
+                affinity_hit=affinity_hit,
+                spilled=spilled,
+            )
+            self.metrics.counter(
+                "repro_routes_total", help="Routing decisions by outcome"
+            ).inc(
+                outcome=(
+                    "spill" if spilled
+                    else "affinity" if affinity_hit
+                    else "least_backlog"
+                ),
+                policy=self.policy,
             )
         self._seq += 1
         return worker
@@ -283,10 +310,16 @@ class Fleet:
         db=None,
         calibration=None,
         engine: str | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if not gpus:
             raise PlanError("a fleet needs at least one GPU")
         self.clock = clock
+        #: observability sinks shared by the scheduler, the autoscaler, and
+        #: every worker — autoscaled workers included, via _server_kwargs.
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
         #: every dynamically added worker (autoscaling) boots with the same
         #: server configuration the fleet was constructed with.
         self._server_kwargs = dict(
@@ -301,6 +334,8 @@ class Fleet:
             db=db,
             calibration=calibration,
             engine=engine,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self._next_worker_id = 0
         #: one shared tuning DB warm-starts every worker: each preloads only
@@ -314,7 +349,8 @@ class Fleet:
         for gpu in gpus:
             self._build_worker(gpu)
         self.scheduler = FleetScheduler(
-            self.workers, policy, spill_factor=spill_factor, trace=trace
+            self.workers, policy, spill_factor=spill_factor, trace=trace,
+            tracer=self.tracer, metrics=self.metrics,
         )
         # The scheduler routes over the fleet's *live* worker list, so
         # add_worker/remove_worker are visible to routing immediately.
@@ -324,6 +360,9 @@ class Fleet:
         worker = FleetWorker(
             self._next_worker_id, gpu, ModelServer(gpu, **self._server_kwargs)
         )
+        # The worker's events land on its own process lane in trace exports
+        # ("RTX#0", "RTX#1"), not the shared GPU-name lane.
+        worker.server.lane = worker.name
         self._next_worker_id += 1
         self.workers.append(worker)
         return worker

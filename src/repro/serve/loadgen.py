@@ -41,6 +41,7 @@ import numpy as np
 from ..core.dtypes import DType
 from ..errors import PlanError
 from ..gpu.specs import GpuSpec
+from ..obs import resolve_metrics, resolve_tracer
 from .admission import AdmissionController, admission_controller
 from .autoscale import AutoscalePolicy, ScaleEvent
 from .cache import PlanCache
@@ -448,6 +449,8 @@ def replay(
     db=None,
     calibration=None,
     engine: str | None = None,
+    tracer=None,
+    metrics=None,
 ) -> StreamReport:
     """Replay a synthetic stream and report throughput + latency percentiles.
 
@@ -465,6 +468,13 @@ def replay(
     server's deadline-aware flushing; ``admission`` (a policy name or an
     :class:`~repro.serve.admission.AdmissionController`) sheds or degrades
     requests whose projected latency would bust their SLO.
+
+    ``tracer``/``metrics`` (a :class:`repro.obs.Tracer` /
+    :class:`repro.obs.MetricsRegistry`) capture the replay as a
+    deterministic timeline: the tracer is bound to the replay's FakeClock,
+    so two identical invocations export byte-identical traces.  When
+    reusing a ``server``, pass the sinks at its construction instead — the
+    server's own sinks always win.
     """
     clock = FakeClock()
     if server is None:
@@ -478,11 +488,19 @@ def replay(
             db=db,
             calibration=calibration,
             engine=engine,
+            tracer=tracer,
+            metrics=metrics,
         )
     elif isinstance(server.clock, FakeClock):
         clock = server.clock
     else:
         raise PlanError("replay needs a server driven by a FakeClock")
+    tracer = server.tracer
+    metrics = server.metrics
+    if tracer.enabled:
+        # Span/instant timestamps come from the replay's simulated clock,
+        # which is what makes the exported trace byte-identical across runs.
+        tracer.clock = clock
 
     entries, model_label, offered_rate = _stream_entries(
         trace, model, n_requests, rate_rps, dtype, slo_s, arrival, poisson, seed
@@ -532,6 +550,19 @@ def replay(
                 req_slo,
                 occupancy_s=max(0.0, clock.t - t),
             )
+            if decision.action in ("shed", "degrade") and (
+                tracer.enabled or metrics.enabled
+            ):
+                tracer.instant(
+                    f"admission.{decision.action}",
+                    t_s=clock.t,
+                    pid=server.lane,
+                    model=entry.model,
+                    slo_s=req_slo,
+                )
+                metrics.counter(
+                    "repro_admission_total", help="Admission verdicts by action"
+                ).inc(action=decision.action, worker=server.lane)
             if decision.action == "shed":
                 shed += 1
                 continue
@@ -837,6 +868,8 @@ def fleet_replay(
     calibration=None,
     engine: str | None = None,
     workers: int = 1,
+    tracer=None,
+    metrics=None,
 ) -> FleetStreamReport:
     """Replay one stream over a multi-GPU fleet on a shared :class:`FakeClock`.
 
@@ -864,6 +897,12 @@ def fleet_replay(
     on the serving critical path.  The plans — and therefore the replayed
     stream — are identical for every worker count; only boot wall-clock
     changes.
+
+    ``tracer``/``metrics`` mirror :func:`replay`: the tracer binds to the
+    shared FakeClock and every worker, the scheduler, and the autoscaler
+    emit into the same sinks, so an autoscaled fleet replay exports
+    byte-identical traces across identical invocations.  When reusing a
+    ``fleet``, pass the sinks at its construction instead.
     """
     clock = FakeClock()
     if fleet is None:
@@ -881,11 +920,18 @@ def fleet_replay(
             db=db,
             calibration=calibration,
             engine=engine,
+            tracer=tracer,
+            metrics=metrics,
         )
     elif isinstance(fleet.clock, FakeClock):
         clock = fleet.clock
     else:
         raise PlanError("fleet_replay needs a fleet driven by a FakeClock")
+    tracer = fleet.tracer
+    metrics = fleet.metrics
+    if tracer.enabled:
+        # Simulated time stamps every span/instant (byte-stable exports).
+        tracer.clock = clock
     if request_trace is not None:
         entries = list(request_trace)
         _validate_trace(entries)
@@ -956,6 +1002,20 @@ def fleet_replay(
             exec_s = batch[0].exec_s
             worker.busy_until = start + exec_s
             worker.busy_s += exec_s
+            if tracer.enabled:
+                # The device-occupancy lane (tid 1): the batch's *true*
+                # interval on its device, which the flush-time batch.execute
+                # span (tid 0) doesn't know — the device may still be busy.
+                tracer.add_span(
+                    "worker.busy",
+                    start,
+                    start + exec_s,
+                    pid=worker.name,
+                    tid=1,
+                    batch_seq=key[1],
+                    model=batch[0].model,
+                    batch_size=len(batch),
+                )
             for r in batch:
                 latency = r.wait_s + (start - now) + exec_s
                 latencies.append(latency)
@@ -1011,6 +1071,19 @@ def fleet_replay(
                 req_slo,
                 occupancy_s=worker.occupancy_s(clock.t) + max(0.0, clock.t - t),
             )
+            if decision.action in ("shed", "degrade") and (
+                tracer.enabled or metrics.enabled
+            ):
+                tracer.instant(
+                    f"admission.{decision.action}",
+                    t_s=clock.t,
+                    pid=worker.name,
+                    model=entry.model,
+                    slo_s=req_slo,
+                )
+                metrics.counter(
+                    "repro_admission_total", help="Admission verdicts by action"
+                ).inc(action=decision.action, worker=worker.name)
             if decision.action == "shed":
                 worker_counts(worker.name)["shed"] += 1
                 continue

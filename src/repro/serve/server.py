@@ -42,6 +42,13 @@ from ..core.dtypes import DType
 from ..errors import PlanError, ShapeError
 from ..gpu.fastpath import resolve_engine
 from ..gpu.specs import GpuSpec
+from ..obs import (
+    BATCH_SIZE_BUCKETS,
+    QUEUE_WAIT_BUCKETS_S,
+    record_session_report,
+    resolve_metrics,
+    resolve_tracer,
+)
 from ..runtime.session import SessionReport
 from .cache import CacheStats, PlanCache, PlanKey
 
@@ -119,6 +126,8 @@ class ModelServer:
         db=None,
         calibration=None,
         engine: str | None = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if max_batch < 1:
             raise PlanError(f"max_batch must be >= 1, got {max_batch}")
@@ -134,12 +143,19 @@ class ModelServer:
         if max_chain < 1:
             raise PlanError(f"max_chain must be >= 1, got {max_chain}")
         self.max_chain = max_chain
+        #: observability sinks (default: shared no-ops, zero overhead) and
+        #: the process lane this server's events land on in trace exports —
+        #: Fleet overrides ``lane`` to the worker name.
+        self.tracer = resolve_tracer(tracer)
+        self.metrics = resolve_metrics(metrics)
+        self.lane = gpu.name
         #: ``calibration`` threads measurement-feedback factors into every
         #: plan this server builds; ``db`` (a :class:`repro.tune.records.
         #: TuningDB`) warm-starts the cache at construction time so tuned
         #: models never plan on the serving critical path.
         self.cache = PlanCache(
-            capacity=cache_capacity, seed=seed, calibration=calibration
+            capacity=cache_capacity, seed=seed, calibration=calibration,
+            tracer=self.tracer, metrics=self.metrics,
         )
         if db is not None:
             self.cache.warm_start(
@@ -226,6 +242,20 @@ class ModelServer:
         else:
             queue.append(req)
         self.stats.requests += 1
+        if self.tracer.enabled or self.metrics.enabled:
+            self.tracer.instant(
+                "server.enqueue",
+                t_s=now,
+                pid=self.lane,
+                request_id=req.id,
+                model=model,
+                dtype=dtype.value,
+                priority=priority,
+                slo_s=slo_s,
+            )
+            self.metrics.counter(
+                "repro_requests_total", help="Requests enqueued"
+            ).inc(worker=self.lane, model=model)
         return req.id
 
     def pending(self) -> int:
@@ -447,6 +477,8 @@ class ModelServer:
         self._account(report)
         seq = self._next_batch
         self._next_batch += 1
+        if self.tracer.enabled or self.metrics.enabled:
+            self._observe_batch(batch, report, seq, now)
         out = report.output
         return [
             InferenceResult(
@@ -461,6 +493,43 @@ class ModelServer:
             )
             for i, r in enumerate(batch)
         ]
+
+    def _observe_batch(
+        self,
+        batch: list[InferenceRequest],
+        report: SessionReport,
+        seq: int,
+        now: float,
+    ) -> None:
+        """Emit one flushed micro-batch onto the obs layer: the batch and
+        per-step kernel intervals on the execution lane (tid 0), one
+        ``request.wait`` interval per request on its own lane (tid 2+id),
+        and the queue-wait / batch-size histograms.  Only called when a
+        tracer or registry is live, so the default hot path never pays."""
+        record_session_report(
+            self.tracer, self.metrics, report,
+            start_s=now, pid=self.lane, batch_seq=seq,
+        )
+        wait_hist = self.metrics.histogram(
+            "repro_queue_wait_seconds", QUEUE_WAIT_BUCKETS_S,
+            help="Request queue wait before its batch flushed",
+        )
+        for r in batch:
+            self.tracer.add_span(
+                "request.wait",
+                min(r.enqueued_at, now),
+                now,
+                pid=self.lane,
+                tid=2 + r.id,
+                request_id=r.id,
+                model=r.model,
+                batch_seq=seq,
+            )
+            wait_hist.observe(max(0.0, now - r.enqueued_at), worker=self.lane)
+        self.metrics.histogram(
+            "repro_batch_size", BATCH_SIZE_BUCKETS,
+            help="Requests per flushed micro-batch",
+        ).observe(len(batch), worker=self.lane)
 
     def _account(self, report: SessionReport) -> None:
         self.stats.images_served += report.batch_size

@@ -42,6 +42,7 @@ from ..gpu.specs import GpuSpec
 from ..kernels.params import chain_quant, make_layer_params
 from ..kernels.registry import build_chain_kernel, build_lbl_kernel
 from ..models.zoo import build_model
+from ..obs import resolve_metrics, resolve_tracer
 from ..planner.analytic import chain_counters, lbl_counters
 from ..planner.plan import (
     ChainStep,
@@ -299,6 +300,8 @@ def measure_model(
     seed: int = 0,
     backend: str = "counters",
     engine: str | None = None,
+    tracer=None,
+    metrics=None,
 ) -> ModelMeasurement:
     """Plan one model, measure every step, tune tilings, persist records.
 
@@ -308,12 +311,60 @@ def measure_model(
     ``(model, max_chain)``) that the serving warm-start path replays.
     Every record carries its measurement provenance: ``"analytic"`` for the
     counter backend, else the execution engine the kernel backend ran on.
+
+    ``tracer``/``metrics`` wrap the whole measurement in one
+    ``tune.measure`` span (the planning pass nests inside) and tally
+    candidate-measurement / record counters; the DB contents are identical
+    with or without them.
     """
+    tracer = resolve_tracer(tracer)
+    metrics = resolve_metrics(metrics)
+    if not (tracer.enabled or metrics.enabled):
+        return _measure_model_impl(
+            model, gpu, dtype, db=db, convention=convention, max_chain=max_chain,
+            mode=mode, iterations=iterations, seed=seed, backend=backend,
+            engine=engine, tracer=tracer, metrics=metrics,
+        )
+    with tracer.span(
+        "tune.measure", model=model, gpu=gpu.name, dtype=dtype.value, mode=mode
+    ):
+        mm = _measure_model_impl(
+            model, gpu, dtype, db=db, convention=convention, max_chain=max_chain,
+            mode=mode, iterations=iterations, seed=seed, backend=backend,
+            engine=engine, tracer=tracer, metrics=metrics,
+        )
+    metrics.counter(
+        "repro_tune_candidates_total", help="Tiling candidates measured"
+    ).inc(mm.evaluated, model=model, gpu=gpu.name)
+    metrics.counter(
+        "repro_tune_records_total", help="Tuning records persisted"
+    ).inc(mm.records_added, model=model, gpu=gpu.name)
+    return mm
+
+
+def _measure_model_impl(
+    model: str,
+    gpu: GpuSpec,
+    dtype: DType,
+    *,
+    db: TuningDB,
+    convention: str,
+    max_chain: int,
+    mode: str,
+    iterations: int,
+    seed: int,
+    backend: str,
+    engine: str | None,
+    tracer,
+    metrics,
+) -> ModelMeasurement:
     from ..gpu.fastpath import resolve_engine
 
     record_engine = "analytic" if backend == "counters" else resolve_engine(engine)
     graph = build_model(model, dtype)
-    plan = FusePlanner(gpu, convention, max_chain=max_chain).plan(graph)
+    plan = FusePlanner(
+        gpu, convention, max_chain=max_chain, tracer=tracer, metrics=metrics
+    ).plan(graph)
     session = InferenceSession(
         graph, plan, materialize_network(graph, dtype, seed)
     )
@@ -429,6 +480,8 @@ def tune_models(
     backend: str = "counters",
     engine: str | None = None,
     workers: int = 1,
+    tracer=None,
+    metrics=None,
 ) -> tuple[TuningDB, list[ModelMeasurement]]:
     """Measure every (model, GPU) combination into one DB (CLI ``tune run``).
 
@@ -439,6 +492,10 @@ def tune_models(
     DB is byte-identical for every worker count.  ``records_added`` in the
     returned summaries is recomputed as the records each task contributed
     to the merged DB, matching the serial accounting.
+
+    ``tracer``/``metrics`` observe the *serial* path only: pooled tasks run
+    in worker processes whose spans cannot land in this process's tracer,
+    and the DB bytes are identical either way.
     """
     if workers < 1:
         raise TuneError(f"workers must be >= 1, got {workers}")
@@ -453,7 +510,8 @@ def tune_models(
         for job in jobs:
             out.append(measure_model(job[0], job[1], dtype, db=db, convention=convention,
                                      max_chain=max_chain, mode=mode, iterations=iterations,
-                                     seed=seed, backend=backend, engine=engine))
+                                     seed=seed, backend=backend, engine=engine,
+                                     tracer=tracer, metrics=metrics))
         return db, out
 
     import multiprocessing

@@ -50,9 +50,10 @@ def _analyze_snippet(tmp_path: Path, source: str, rules: "str | None" = None):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert ALL_RULE_IDS == (
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPR007",
         )
         registry = rule_registry()
         assert set(registry) == set(ALL_RULE_IDS)
@@ -375,6 +376,55 @@ class TestSubmissionOrderRule:
             "def merge(pool, work):\n"
             "    return list(pool.map(str, work))\n"
         ), rules="RPR006")
+        assert findings == []
+
+
+class TestSpanContextRule:
+    """RPR007 — spans open only through the context-manager form."""
+
+    def test_flags_manual_start_end_pair(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "def work(tracer):\n"
+            "    tracer.start_span('batch')\n"
+            "    run()\n"
+            "    tracer.end_span()\n"
+        ), rules="RPR007")
+        assert _rule_ids(findings) == {"RPR007"}
+        assert {f.line for f in findings} == {2, 4}
+
+    def test_flags_bare_span_call_outside_with(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "def work(tracer):\n"
+            "    span = tracer.span('batch')\n"
+            "    span.__enter__()\n"
+        ), rules="RPR007")
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert "with tracer.span" in findings[0].message
+
+    def test_with_form_is_clean(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "def work(tracer):\n"
+            "    with tracer.span('batch', size=4):\n"
+            "        run()\n"
+        ), rules="RPR007")
+        assert findings == []
+
+    def test_add_span_and_foreign_span_calls_are_clean(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "import re\n"
+            "def work(tracer, text):\n"
+            "    tracer.add_span('busy', 0.0, 1.0)\n"
+            "    return re.match('a', text).span()\n"
+        ), rules="RPR007")
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "def work(tracer):\n"
+            "    # repro: allow[RPR007] exporter test fixture, never entered\n"
+            "    return tracer.span('batch')\n"
+        ), rules="RPR007")
         assert findings == []
 
 

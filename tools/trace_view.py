@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Offline summary of a repro Chrome-trace JSON (see repro.obs.export).
+
+Reads a trace written by ``--trace-out`` (or ``write_chrome_trace``) and
+prints three operator-facing views without needing a trace UI:
+
+* top spans by aggregated *self* time (duration minus child spans on the
+  same lane), so a fat ``batch.execute`` does not hide its kernel steps;
+* per-worker utilization: the union of device-occupancy intervals
+  (``worker.busy`` lanes when present, else ``batch.execute``) over the
+  trace's wall span, plus the idle-gap count and the longest gap;
+* an ASCII histogram of request queue waits (``request.wait`` spans).
+
+Stdlib only, deterministic output for a given input file.
+
+Usage:
+    python tools/trace_view.py TRACE_smoke.json [--top 10] [--buckets 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+#: device-occupancy span names, in preference order (first present wins).
+BUSY_SPANS = ("worker.busy", "batch.execute")
+
+
+def load_events(path: str) -> list[dict]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: not a Chrome-trace JSON (no traceEvents)")
+    return events
+
+
+def pid_names(events: list[dict]) -> dict[int, str]:
+    """pid -> human name from the trace's process_name metadata events."""
+    names: dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "process_name":
+            names[ev["pid"]] = ev.get("args", {}).get("name", str(ev["pid"]))
+    return names
+
+
+def self_times(events: list[dict]) -> dict[str, tuple[float, int]]:
+    """Aggregate self time (us) and count per span name.
+
+    Each (pid, tid) lane is swept over its span boundaries; every elementary
+    time segment is attributed to the *innermost* covering span (latest
+    start, then shortest).  For properly nested lanes this is the usual
+    parent-minus-children self time; lanes whose spans partially overlap
+    (flush-time batches on a backlogged worker) still partition cleanly
+    instead of double counting.
+    """
+    lanes: dict[tuple, list[tuple]] = defaultdict(list)
+    for ev in events:
+        if ev.get("ph") == "X":
+            lanes[(ev["pid"], ev["tid"])].append(
+                (ev["ts"], ev["ts"] + ev["dur"], ev["dur"], ev["name"])
+            )
+    agg: dict[str, list[float]] = defaultdict(lambda: [0.0, 0])
+    for lane in sorted(lanes):
+        spans = lanes[lane]
+        for _, _, _, name in spans:
+            agg[name][1] += 1
+        bounds = sorted({t for start, end, _, _ in spans for t in (start, end)})
+        for lo, hi in zip(bounds, bounds[1:]):
+            covering = [s for s in spans if s[0] <= lo and s[1] >= hi]
+            if covering:
+                innermost = max(covering, key=lambda s: (s[0], -s[2]))
+                agg[innermost[3]][0] += hi - lo
+    return {name: (total, count) for name, (total, count) in agg.items()}
+
+
+def _union(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    merged: list[list[float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([start, end])
+    return [(a, b) for a, b in merged]
+
+
+def worker_utilization(events: list[dict]) -> list[tuple[str, float, float, int, float]]:
+    """(worker, busy_us, utilization, idle_gaps, max_gap_us) per pid."""
+    xs = [ev for ev in events if ev.get("ph") == "X"]
+    if not xs:
+        return []
+    t0 = min(ev["ts"] for ev in xs)
+    t1 = max(ev["ts"] + ev["dur"] for ev in xs)
+    wall = max(t1 - t0, 1e-12)
+    names = pid_names(events)
+    by_pid: dict[int, list[dict]] = defaultdict(list)
+    for ev in xs:
+        by_pid[ev["pid"]].append(ev)
+    rows = []
+    for pid in sorted(by_pid):
+        pool = by_pid[pid]
+        busy_name = next(
+            (n for n in BUSY_SPANS if any(ev["name"] == n for ev in pool)), None
+        )
+        if busy_name is None:
+            continue
+        merged = _union([
+            (ev["ts"], ev["ts"] + ev["dur"])
+            for ev in pool if ev["name"] == busy_name
+        ])
+        busy = sum(b - a for a, b in merged)
+        gaps = [b[0] - a[1] for a, b in zip(merged, merged[1:]) if b[0] > a[1]]
+        rows.append((
+            names.get(pid, str(pid)), busy, busy / wall,
+            len(gaps), max(gaps) if gaps else 0.0,
+        ))
+    return rows
+
+
+def queue_wait_histogram(events: list[dict], buckets: int) -> list[tuple[str, int]]:
+    """Equal-width (label, count) buckets over request.wait durations (us)."""
+    waits = sorted(
+        ev["dur"] for ev in events
+        if ev.get("ph") == "X" and ev.get("name") == "request.wait"
+    )
+    if not waits:
+        return []
+    lo, hi = waits[0], waits[-1]
+    width = max((hi - lo) / buckets, 1e-9)
+    counts = [0] * buckets
+    for w in waits:
+        counts[min(int((w - lo) / width), buckets - 1)] += 1
+    return [
+        (f"[{lo + i * width:10.1f}, {lo + (i + 1) * width:10.1f})", c)
+        for i, c in enumerate(counts)
+    ]
+
+
+def summarize(path: str, top: int, buckets: int) -> str:
+    events = load_events(path)
+    xs = sum(1 for ev in events if ev.get("ph") == "X")
+    instants = sum(1 for ev in events if ev.get("ph") == "i")
+    lines = [f"{path}: {xs} spans, {instants} instant events"]
+
+    lines.append("")
+    lines.append(f"top {top} spans by self time:")
+    lines.append(f"  {'span':<20s} {'count':>6s} {'self us':>12s} {'mean us':>10s}")
+    ranked = sorted(
+        self_times(events).items(), key=lambda kv: (-kv[1][0], kv[0])
+    )[:top]
+    for name, (total, count) in ranked:
+        lines.append(
+            f"  {name:<20s} {count:>6d} {total:>12.1f} {total / count:>10.2f}"
+        )
+
+    util = worker_utilization(events)
+    if util:
+        lines.append("")
+        lines.append("per-worker device occupancy:")
+        lines.append(
+            f"  {'worker':<10s} {'busy us':>12s} {'util':>7s} "
+            f"{'idle gaps':>10s} {'max gap us':>11s}"
+        )
+        for name, busy, frac, gaps, max_gap in util:
+            lines.append(
+                f"  {name:<10s} {busy:>12.1f} {frac:>6.1%} "
+                f"{gaps:>10d} {max_gap:>11.1f}"
+            )
+
+    hist = queue_wait_histogram(events, buckets)
+    if hist:
+        peak = max(c for _, c in hist)
+        lines.append("")
+        lines.append("queue wait (request.wait, us):")
+        for label, count in hist:
+            bar = "#" * round(40 * count / peak) if count else ""
+            lines.append(f"  {label} {count:>6d} {bar}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="summarize a repro Chrome-trace JSON offline"
+    )
+    parser.add_argument("trace", help="trace file from --trace-out")
+    parser.add_argument("--top", type=int, default=10,
+                        help="span names to list by self time (default 10)")
+    parser.add_argument("--buckets", type=int, default=8,
+                        help="queue-wait histogram buckets (default 8)")
+    args = parser.parse_args(argv)
+    print(summarize(args.trace, args.top, args.buckets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
