@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-slo test-planner bench-smoke bench tune-smoke trace-smoke docs-check lint profile
+.PHONY: test test-slo test-planner bench-smoke bench tune-smoke trace-smoke chaos-smoke docs-check lint profile
 
 ## tier-1 suite — must stay green (ROADMAP.md)
 test:
@@ -27,6 +27,7 @@ bench-smoke:
 	    benchmarks/bench_slo.py \
 	    benchmarks/bench_tuning.py \
 	    benchmarks/bench_planner_speed.py \
+	    benchmarks/bench_fault_tolerance.py \
 	    benchmarks/bench_obs_overhead.py --smoke \
 	    --benchmark-only --benchmark-json=BENCH_smoke.json -q -s
 
@@ -46,6 +47,16 @@ trace-smoke:
 	    --requests 48 --rate 20000 --autoscale 1:4 --cooldown-ms 2 \
 	    --trace-out TRACE_smoke.json --metrics-out METRICS_smoke.txt
 	$(PYTHON) tools/trace_view.py TRACE_smoke.json
+
+## seeded chaos replay over a 4-worker fleet (crashes + recoveries, retries,
+## failover) -> canonical availability/retry accounting in CHAOS_smoke.json
+## (CI artifact); the run is deterministic, so the file is diffable across
+## commits exactly like a bench trajectory
+chaos-smoke:
+	$(PYTHON) -m repro.cli fleet --gpus GTX,GTX,GTX,GTX \
+	    --models mobilenet_v1,mobilenet_v2 --requests 64 --rate 8000 \
+	    --slo-ms 12 --chaos 4:0.5 --retries 2 --retry-budget 0.5 \
+	    --chaos-out CHAOS_smoke.json
 
 ## every paper artifact + the serving sweep (slow)
 bench:

@@ -1,0 +1,108 @@
+"""Availability and SLO attainment under escalating chaos.
+
+Not a paper artifact — this tracks the fault-tolerance layer end to end:
+the same seeded stream replayed over a 4-worker fleet while a seeded
+MTBF/MTTR chaos plan crashes and recovers workers, with retries + failover
+cleaning up behind them.  Each point reports availability, attainment and
+the retry/requeue/lost accounting, so the bench trajectory records how the
+failover machinery holds up as the serving stack evolves.
+
+``--smoke`` (see benchmarks/conftest.py) shrinks the stream so `make
+bench-smoke` stays fast.
+"""
+
+from repro.experiments import format_table
+from repro.gpu.specs import GTX1660
+from repro.serve import FaultPlan, RetryPolicy, capacity_rps, fleet_replay
+
+MODELS = ("mobilenet_v1", "mobilenet_v2")
+N_WORKERS = 4
+SLO_BATCHES = 4
+#: chaos intensity sweep: MTBF as a fraction of the stream duration
+#: (None -> fault-free baseline; the no-fault path must stay untouched).
+MTBF_FRACTIONS = (None, 0.5, 0.1)
+
+
+def test_bench_fault_tolerance(benchmark, once, capsys, smoke):
+    n_requests = 48 if smoke else 160
+    max_batch = 8
+    base = capacity_rps(GTX1660, MODELS[0], max_batch=max_batch)
+    rate_rps = 2.0 * base  # half the 4-worker fleet's aggregate capacity
+    slo_s = SLO_BATCHES * max_batch / base
+    duration_s = n_requests / rate_rps
+    retry = RetryPolicy(max_attempts=3, budget=0.5)
+
+    def sweep():
+        reports = []
+        for frac in MTBF_FRACTIONS:
+            plan = None
+            if frac is not None:
+                plan = FaultPlan.chaos(
+                    N_WORKERS,
+                    duration_s,
+                    mtbf_s=frac * duration_s,
+                    mttr_s=0.02 * duration_s,
+                    seed=11,
+                )
+            reports.append(
+                fleet_replay(
+                    [GTX1660] * N_WORKERS,
+                    list(MODELS),
+                    n_requests,
+                    rate_rps,
+                    max_batch=max_batch,
+                    slo_s=slo_s,
+                    faults=plan,
+                    retry=None if plan is None else retry,
+                    probe_s=0.002 * duration_s,
+                    seed=7,
+                )
+            )
+        return reports
+
+    reports = once(benchmark, sweep)
+    with capsys.disabled():
+        print(f"\n[Chaos] {N_WORKERS}x{GTX1660.name}, {n_requests} reqs @ "
+              f"{rate_rps:.0f} rps, slo={slo_s * 1e3:.3f} ms"
+              f"{' (smoke)' if smoke else ''}")
+        rows = []
+        for frac, r in zip(MTBF_FRACTIONS, reports):
+            s = r.fault_stats
+            rows.append([
+                "none" if frac is None else f"{frac:g}x",
+                f"{r.availability:.1%}",
+                f"{r.attained / r.n_requests:.1%}",
+                0 if s is None else s.crashes,
+                0 if s is None else s.retries,
+                0 if s is None else s.requeues,
+                0 if s is None else s.lost,
+                f"{r.latency_p99_s * 1e3:.3f}",
+            ])
+        print(format_table(
+            ["mtbf", "availability", "attainment", "crashes", "retries",
+             "requeues", "lost", "p99 ms"],
+            rows,
+        ))
+
+    labels = ["none" if f is None else f"{f:g}x" for f in MTBF_FRACTIONS]
+    benchmark.extra_info["availability"] = {
+        lab: round(r.availability, 4) for lab, r in zip(labels, reports)
+    }
+    benchmark.extra_info["attainment"] = {
+        lab: round(r.attained / r.n_requests, 4) for lab, r in zip(labels, reports)
+    }
+    benchmark.extra_info["lost"] = {
+        lab: (0 if r.fault_stats is None else r.fault_stats.lost)
+        for lab, r in zip(labels, reports)
+    }
+
+    # The fault-free point must stay on the untouched no-fault path, and
+    # chaos must actually bite: workers go down, availability drops, yet
+    # accepted-request accounting stays conserved at every point.
+    assert reports[0].fault_stats is None
+    assert reports[0].availability == 1.0
+    assert reports[-1].fault_stats.crashes > 0
+    assert reports[-1].availability < 1.0
+    for r in reports:
+        lost = 0 if r.fault_stats is None else r.fault_stats.lost
+        assert len(r.latencies_s) + lost == r.n_requests

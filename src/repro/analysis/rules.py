@@ -1,4 +1,4 @@
-"""The shipped invariant rules, RPR001 through RPR007.
+"""The shipped invariant rules, RPR001 through RPR008.
 
 Each rule enforces a contract the dynamic test suite defends end-to-end;
 see the class docstrings for the mapping.  Real, audited exceptions are
@@ -572,11 +572,65 @@ class SpanContextRule(Rule):
                         )
 
 
+@register_rule
+class AmbientSleepRule(Rule):
+    """RPR008: waits are *scheduled events* on the injected clock.
+
+    Retry backoff, hedge delays, breaker resets and health probes are all
+    instants on the simulated timeline (cf. ``serve.faults.FaultInjector``'s
+    event heap).  Calling ``time.sleep`` instead blocks the host thread:
+    the wait is invisible to the FakeClock, so fault/retry timing would
+    depend on wall time and a chaos replay could never be byte-identical.
+    Injectable ``sleep=time.sleep`` *defaults* are attribute references,
+    not calls, and stay allowed (they carry their RPR001 allow comments).
+    """
+
+    rule_id = "RPR008"
+    title = "no ambient sleeps; waits are events on the injected clock"
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        for info in ctx.modules:
+            al = _aliases(info)
+            sleep_names: set[str] = set()
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.ImportFrom) and not node.level \
+                        and node.module == "time":
+                    for a in node.names:
+                        if a.name == "sleep":
+                            sleep_names.add(a.asname or a.name)
+                            yield _finding(
+                                info, node, self.rule_id,
+                                "`from time import sleep` binds an ambient "
+                                "blocking sleep; schedule the wait on the "
+                                "injected clock instead",
+                            )
+            for node in ast.walk(info.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                if isinstance(fn, ast.Attribute) and fn.attr == "sleep" \
+                        and isinstance(fn.value, ast.Name) \
+                        and fn.value.id in al.time:
+                    yield _finding(
+                        info, node, self.rule_id,
+                        f"`{fn.value.id}.sleep(...)` blocks the host thread; "
+                        "retry/backoff waits must be scheduled events on the "
+                        "injected clock (cf. serve.faults.FaultInjector)",
+                    )
+                elif isinstance(fn, ast.Name) and fn.id in sleep_names:
+                    yield _finding(
+                        info, node, self.rule_id,
+                        f"ambient `{fn.id}(...)` blocks the host thread; "
+                        "retry/backoff waits must be scheduled events on the "
+                        "injected clock (cf. serve.faults.FaultInjector)",
+                    )
+
+
 #: Canonical ordered rule vocabulary (the resolver's `ENGINES` analogue).
 ALL_RULE_IDS: tuple[str, ...] = tuple(sorted(
     cls.rule_id for cls in (
         WallClockRule, UnseededRngRule, SerializerOrderRule,
         LayeringRule, RegistryParityRule, SubmissionOrderRule,
-        SpanContextRule,
+        SpanContextRule, AmbientSleepRule,
     )
 ))

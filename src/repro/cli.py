@@ -398,6 +398,76 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Resolve --faults / --chaos into a FaultPlan (None when unarmed)."""
+    from .errors import PlanError
+    from .serve.faults import FaultPlan
+
+    if args.faults and args.chaos:
+        raise PlanError("--faults and --chaos are mutually exclusive")
+    if args.faults:
+        return FaultPlan.load(args.faults)
+    if args.chaos:
+        try:
+            mtbf_ms, mttr_ms = (float(x) for x in args.chaos.split(":"))
+        except ValueError as exc:
+            raise PlanError(
+                f"--chaos wants MTBF_MS:MTTR_MS, got {args.chaos!r}"
+            ) from exc
+        # Cover the arrival window with slack for the post-stream drain.
+        duration_s = args.requests / args.rate * 4.0
+        return FaultPlan.chaos(
+            len(args.gpus.split(",")),
+            duration_s,
+            mtbf_s=mtbf_ms * 1e-3,
+            mttr_s=mttr_ms * 1e-3,
+            seed=args.chaos_seed,
+        )
+    return None
+
+
+def _retry_policy(args: argparse.Namespace):
+    """Resolve --retries / --hedge-ms into a RetryPolicy (None when unarmed)."""
+    from .serve.faults import RetryPolicy
+
+    if args.retries <= 0 and args.hedge_ms <= 0:
+        return None
+    return RetryPolicy(
+        max_attempts=1 + max(0, args.retries),
+        budget=args.retry_budget,
+        hedge_delay_s=args.hedge_ms * 1e-3 if args.hedge_ms > 0 else None,
+    )
+
+
+def _write_chaos_out(path: str, report) -> None:
+    """Canonical chaos-accounting JSON (sorted keys, compact, newline)."""
+    import json
+    from pathlib import Path
+
+    fs = report.fault_stats
+    payload = {
+        "availability": report.availability,
+        "attainment": report.attainment,
+        "n_requests": report.n_requests,
+        "served": len(report.latencies_s),
+        "throughput_img_s": report.throughput_img_s,
+        "crashes": fs.crashes if fs else 0,
+        "transients": fs.transients if fs else 0,
+        "recoveries": fs.recoveries if fs else 0,
+        "retries": fs.retries if fs else 0,
+        "requeues": fs.requeues if fs else 0,
+        "hedges": fs.hedges if fs else 0,
+        "breaker_trips": fs.breaker_trips if fs else 0,
+        "lost": fs.lost if fs else 0,
+        "downtime_s": dict(fs.downtime_s) if fs else {},
+    }
+    Path(path).write_text(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    print(f"chaos accounting -> {path}")
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from .serve.loadgen import fleet_replay
 
@@ -419,6 +489,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         poisson=args.poisson,
         request_trace=slo.pop("trace", None),
         autoscale=_autoscale_policy(args.autoscale, args.cooldown_ms),
+        faults=_fault_plan(args),
+        retry=_retry_policy(args),
         max_chain=args.max_chain,
         trace=args.explain,
         db=db,
@@ -429,6 +501,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         **slo,
     )
     print(report.describe())
+    if args.chaos_out:
+        _write_chaos_out(args.chaos_out, report)
     _export_obs(args, tracer, metrics)
     if args.explain and report.routing_trace:
         print("\nrouting trace (one line per request):")
@@ -607,7 +681,11 @@ _EPILOGS: dict[str, str] = {
         "  python -m repro.cli fleet --gpus RTX,RTX,Orin --workers 4  "
         "# parallel boot-time preplanning\n"
         "  python -m repro.cli fleet --gpus RTX,RTX --autoscale 1:4 "
-        "--trace-out TRACE_fleet.json --metrics-out METRICS_fleet.txt"
+        "--trace-out TRACE_fleet.json --metrics-out METRICS_fleet.txt\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX,RTX,RTX --slo-ms 5 "
+        "--chaos 1:0.5 --retries 2  # seeded crash/recover chaos + retries\n"
+        "  python -m repro.cli fleet --gpus RTX,RTX --faults PLAN.jsonl "
+        "--retries 2 --hedge-ms 2 --chaos-out CHAOS_run.json"
     ),
     "tune": (
         "examples:\n"
@@ -852,6 +930,30 @@ def build_parser() -> argparse.ArgumentParser:
                         "plans every (GPU, model, dtype) before the stream "
                         "starts, off the serving critical path (default 1, "
                         "plan on first request)")
+    p.add_argument("--faults", default="",
+                   help="JSONL fault plan to replay (crash / slowdown / "
+                        "transient / recover events; see "
+                        "repro.serve.faults.FaultPlan)")
+    p.add_argument("--chaos", default="",
+                   help="synthesize a seeded crash/recover plan as "
+                        "MTBF_MS:MTTR_MS (exponential up/down times per "
+                        "worker; alternative to --faults)")
+    p.add_argument("--chaos-seed", type=int, default=0,
+                   help="seed for the --chaos plan generator (default 0)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="max retries per failed request (default 0: a "
+                        "failed request is lost)")
+    p.add_argument("--retry-budget", type=float, default=0.2,
+                   help="fleet-wide retry cap as a fraction of offered "
+                        "load (default 0.2)")
+    p.add_argument("--hedge-ms", type=float, default=0.0,
+                   help="launch a hedged duplicate after this many ms "
+                        "unserved, first copy wins (default 0: off; tune "
+                        "from a report's p99 via repro.serve.hedge_delay)")
+    p.add_argument("--chaos-out", default="",
+                   help="write canonical chaos-accounting JSON "
+                        "(availability, attainment, retries, losses) to "
+                        "this file")
     _add_obs_args(p)
 
     p = _add_cmd(sub, "lint", _cmd_lint,

@@ -17,7 +17,13 @@ session -> report) into a request-serving layer:
   behind a :class:`FleetScheduler` (plan-affinity or round-robin routing),
   elastic via :meth:`Fleet.add_worker` / :meth:`Fleet.remove_worker`;
 * :mod:`repro.serve.autoscale` — reactive :class:`Autoscaler` resizing the
-  fleet from its backlog signal, with a replayable decision trace;
+  fleet from its backlog signal (and from lost serving capacity under
+  faults), with a replayable decision trace;
+* :mod:`repro.serve.faults` — deterministic chaos: JSONL-replayable
+  :class:`FaultPlan` (crash / slowdown / transient / recover), per-worker
+  health state machine and :class:`CircuitBreaker`, :class:`RetryPolicy`
+  with budgeted backoff and p99-based hedging, all driven on the shared
+  clock by a :class:`FaultInjector`;
 * :mod:`repro.serve.loadgen` — deterministic arrival streams (uniform,
   Poisson, heavy-tailed lognormal/Pareto, diurnal), JSONL trace files, and
   the discrete-event :func:`replay` / :func:`fleet_replay` harnesses
@@ -34,6 +40,16 @@ from .admission import (
 )
 from .autoscale import Autoscaler, AutoscalePolicy, ScaleEvent
 from .cache import CachedPlan, CacheStats, PlanCache, PlanKey
+from .faults import (
+    FAULT_KINDS,
+    WORKER_HEALTH,
+    CircuitBreaker,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    RetryPolicy,
+)
 from .fleet import (
     Fleet,
     FleetScheduler,
@@ -56,6 +72,7 @@ from .loadgen import (
     diurnal_arrival_times,
     fleet_replay,
     generate_arrivals,
+    hedge_delay,
     lognormal_arrival_times,
     pareto_arrival_times,
     percentile,
@@ -78,6 +95,14 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "PlanKey",
+    "FAULT_KINDS",
+    "WORKER_HEALTH",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "RetryPolicy",
     "Fleet",
     "FleetScheduler",
     "FleetStats",
@@ -97,6 +122,7 @@ __all__ = [
     "diurnal_arrival_times",
     "fleet_replay",
     "generate_arrivals",
+    "hedge_delay",
     "lognormal_arrival_times",
     "pareto_arrival_times",
     "percentile",

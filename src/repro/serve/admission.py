@@ -104,15 +104,26 @@ class AdmissionController:
         self.stats = AdmissionStats()
 
     def projected_s(
-        self, server: ModelServer, model: str, dtype: DType, *, occupancy_s: float = 0.0
+        self,
+        server: ModelServer,
+        model: str,
+        dtype: DType,
+        *,
+        occupancy_s: float = 0.0,
+        throttle: float = 1.0,
     ) -> float:
         """Projected completion latency of one new ``(model, dtype)`` request
         on ``server``: device occupancy plus the *batched* drain of the
         backlog with this request appended to its queue
         (:meth:`ModelServer.estimated_drain_s` — the request's own execution
         rides in the remainder micro-batch; 0 while its plan is not yet
-        resident)."""
-        return occupancy_s + server.estimated_drain_s(extra=(model, dtype.value))
+        resident).  ``throttle`` stretches the drain term for a thermally
+        degraded worker (see serve.faults); 1.0 leaves the arithmetic
+        untouched bit-for-bit."""
+        drain = server.estimated_drain_s(extra=(model, dtype.value))
+        if throttle != 1.0:
+            drain *= throttle
+        return occupancy_s + drain
 
     def decide(
         self,
@@ -122,21 +133,27 @@ class AdmissionController:
         slo_s: float,
         *,
         occupancy_s: float = 0.0,
+        throttle: float = 1.0,
     ) -> AdmissionDecision:
         """Judge one offered request against ``slo_s`` and tally the outcome.
 
         ``occupancy_s`` is the target device's remaining busy time (the fleet
         path passes :meth:`FleetWorker.occupancy_s`; the single-server replay
         models occupancy by advancing its clock, so it passes 0).
+        ``throttle`` is the target worker's slowdown factor under faults, so
+        admission sheds earlier on a thermally degraded worker.
         """
         if slo_s <= 0:
             raise PlanError(f"slo_s must be > 0, got {slo_s}")
-        projected = self.projected_s(server, model, dtype, occupancy_s=occupancy_s)
+        projected = self.projected_s(
+            server, model, dtype, occupancy_s=occupancy_s, throttle=throttle
+        )
         if projected * self.margin <= slo_s:
             decision = AdmissionDecision("accept", projected, slo_s)
         elif self.policy == "degrade" and dtype is not self.degrade_dtype:
             degraded = self.projected_s(
-                server, model, self.degrade_dtype, occupancy_s=occupancy_s
+                server, model, self.degrade_dtype,
+                occupancy_s=occupancy_s, throttle=throttle,
             )
             if degraded * self.margin <= slo_s:
                 decision = AdmissionDecision("degrade", degraded, slo_s)

@@ -9,9 +9,15 @@ occupancy plus the analytic cost of every queued request) and resizes the
 * **grow** — mean backlog per worker exceeds ``grow_backlog_s``: add one
   worker on the policy's GPU preset (configured identically to the boot
   workers, warm-started from the same tuning DB).
+* **grow (lost capacity)** — faults (see :mod:`repro.serve.faults`) took
+  the number of *serving* workers below ``min_workers``: replace the lost
+  capacity immediately, even with no backlog signal — requests parked
+  behind a dead fleet generate no queue to react to.  These events carry
+  ``reason="lost_capacity"`` in the decision trace.
 * **shrink** — mean backlog falls below ``shrink_backlog_s`` *and* some
-  worker is idle (empty queue, device free): retire the highest-numbered
-  idle worker.  Its accounting stays in :meth:`Fleet.stats`.
+  healthy worker is idle (empty queue, device free): retire the
+  highest-numbered idle worker.  Its accounting stays in
+  :meth:`Fleet.stats`.
 
 ``cooldown_s`` rate-limits actions: after any resize the controller holds
 its size until the cooldown elapses, which damps grow/shrink oscillation on
@@ -41,11 +47,14 @@ class ScaleEvent:
     worker: str  # name of the worker added / retired
     backlog_s: float  # mean backlog per worker that triggered the action
     workers: int  # fleet size after the action
+    reason: str = "backlog"  # "backlog" | "lost_capacity" | "idle"
 
     def describe(self) -> str:
+        why = f", {self.reason}" if self.reason != "backlog" else ""
         return (
             f"t={self.t * 1e3:.3f}ms {self.action} {self.worker} "
-            f"(mean backlog {self.backlog_s * 1e6:.1f}us) -> {self.workers} worker(s)"
+            f"(mean backlog {self.backlog_s * 1e6:.1f}us{why}) "
+            f"-> {self.workers} worker(s)"
         )
 
 
@@ -116,8 +125,16 @@ class Autoscaler:
         self.metrics = fleet.metrics
 
     def mean_backlog_s(self, now: float) -> float:
-        """The scaling signal: mean estimated backlog per active worker."""
-        workers = self.fleet.workers
+        """The scaling signal: mean estimated backlog per *serving* worker.
+
+        Down / recovering workers contribute neither backlog nor capacity
+        (a fault injector drains them on crash), so losing a worker
+        concentrates the signal on the survivors instead of diluting it.
+        With every worker healthy this is exactly the all-workers mean.
+        """
+        workers = [w for w in self.fleet.workers if w.health in ("healthy", "degraded")]
+        if not workers:
+            return 0.0
         return sum(w.estimated_backlog_s(now) for w in workers) / len(workers)
 
     def in_cooldown(self, now: float) -> bool:
@@ -127,13 +144,22 @@ class Autoscaler:
         )
 
     def _idle_worker(self, now: float) -> FleetWorker | None:
-        """Highest-numbered worker that is drained and not executing."""
+        """Highest-numbered *healthy* worker that is drained and not
+        executing.  Faulted workers are never the shrink target: retiring
+        a down worker would erase the capacity the injector is about to
+        recover."""
         idle = [
             w
             for w in self.fleet.workers
-            if not w.server.pending() and w.busy_until <= now
+            if w.health == "healthy" and not w.server.pending() and w.busy_until <= now
         ]
         return max(idle, key=lambda w: w.worker_id) if idle else None
+
+    def serving_workers(self) -> int:
+        """Workers currently able to take traffic (healthy or degraded)."""
+        return sum(
+            1 for w in self.fleet.workers if w.health in ("healthy", "degraded")
+        )
 
     def observe(self, now: float) -> ScaleEvent | None:
         """Evaluate the signal at instant ``now`` and resize by at most one
@@ -143,7 +169,21 @@ class Autoscaler:
             return None
         backlog = self.mean_backlog_s(now)
         event: ScaleEvent | None = None
-        if backlog > self.grow_backlog_s and len(self.fleet.workers) < self.max_workers:
+        serving = self.serving_workers()
+        if (
+            serving < len(self.fleet.workers)  # somebody is actually down
+            and serving < self.min_workers
+            and len(self.fleet.workers) < self.max_workers
+        ):
+            # Faults took serving capacity below the floor: replace the
+            # lost worker(s) even with no backlog signal yet — requests
+            # parked behind a dead fleet generate no queue to react to.
+            worker = self.fleet.add_worker(self.gpu)
+            event = ScaleEvent(
+                now, "grow", worker.name, backlog, len(self.fleet.workers),
+                reason="lost_capacity",
+            )
+        elif backlog > self.grow_backlog_s and len(self.fleet.workers) < self.max_workers:
             worker = self.fleet.add_worker(self.gpu)
             event = ScaleEvent(
                 now, "grow", worker.name, backlog, len(self.fleet.workers)

@@ -234,6 +234,39 @@ class PlanCache:
         self._count("warm_start")
         return entry
 
+    def clear(self) -> int:
+        """Drop every resident entry, keeping cumulative stats (crash path).
+
+        A crashed GPU loses its on-device state: the plans are gone but the
+        hit/miss/planner history still happened.  Returns the number of
+        entries dropped; they are losses, not LRU evictions, so the
+        eviction counter is untouched.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    def adopt(self, entry: CachedPlan) -> CachedPlan:
+        """Share a peer's resident entry (recovery re-warm path).
+
+        The plan, weights and session were already materialized on a
+        same-GPU peer, so adopting the object is free and counts as a
+        ``warm_start`` exactly like :meth:`install`.  An already resident
+        entry wins (no-op), and adoption respects capacity via LRU
+        eviction like any other insertion.
+        """
+        resident = self._entries.get(entry.key)
+        if resident is not None:
+            return resident
+        self._entries[entry.key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            self._count("eviction")
+        self.stats.warm_starts += 1
+        self._count("warm_start")
+        return entry
+
     def warm_start(
         self,
         db,

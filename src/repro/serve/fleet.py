@@ -40,7 +40,7 @@ from ..gpu.specs import GpuSpec
 from ..obs import resolve_metrics, resolve_tracer
 from ..runtime.session import SessionReport
 from .cache import PlanKey
-from .server import InferenceResult, ModelServer
+from .server import InferenceRequest, InferenceResult, ModelServer
 
 __all__ = [
     "RouteDecision",
@@ -115,6 +115,18 @@ class FleetWorker:
         self.busy_until = 0.0
         #: cumulative simulated execution time (utilization reporting).
         self.busy_s = 0.0
+        #: health state machine (see serve.faults.WORKER_HEALTH); only a
+        #: FaultInjector ever moves a worker off "healthy".
+        self.health = "healthy"
+        #: thermal-throttle multiplier on batch execution time (1.0 = none).
+        self.throttle = 1.0
+        #: armed transient batch failures (next flush on this worker fails).
+        self.pending_transient = 0
+        #: instant the current outage started, and cumulative downtime.
+        self.down_since: float | None = None
+        self.downtime_s = 0.0
+        #: per-worker circuit breaker, created lazily by the injector.
+        self.breaker = None
 
     def plan_key(self, model: str, dtype: DType) -> PlanKey:
         return PlanKey.of(
@@ -137,6 +149,15 @@ class FleetWorker:
     def estimated_backlog_s(self, now: float) -> float:
         """Occupancy plus the analytic cost of every queued request."""
         return self.occupancy_s(now) + self.server.estimated_queue_cost_s()
+
+    def routable(self, now: float) -> bool:
+        """May routing send traffic here at ``now``?  Down and recovering
+        workers are skipped; a degraded (throttled) worker still serves.
+        An open circuit breaker also vetoes (half-open lets one probe by).
+        """
+        if self.health not in ("healthy", "degraded"):
+            return False
+        return self.breaker is None or self.breaker.allows(now)
 
 
 class FleetScheduler:
@@ -167,21 +188,44 @@ class FleetScheduler:
         self._rr = 0
         self._seq = 0
 
-    def route(self, model: str, dtype: DType, now: float) -> FleetWorker:
-        """Pick the worker for one request (see module docstring)."""
+    def route(
+        self,
+        model: str,
+        dtype: DType,
+        now: float,
+        *,
+        exclude: frozenset[int] = frozenset(),
+    ) -> FleetWorker | None:
+        """Pick the worker for one request (see module docstring).
+
+        Down / recovering / breaker-open workers are skipped, as is any
+        ``worker_id`` in ``exclude`` (hedges avoid workers already holding
+        a copy).  Returns None when nothing is routable — only possible
+        while a fault injector has taken workers out.
+        """
+        pool = [
+            w for w in self.workers
+            if w.worker_id not in exclude and w.routable(now)
+        ]
+        if not pool:
+            return None
         affinity_hit = spilled = False
         backlogs: dict[str, float] = {}
         if self.policy == "round_robin":
-            worker = self.workers[self._rr % len(self.workers)]
-            self._rr += 1
+            n = len(self.workers)
+            for k in range(n):
+                worker = self.workers[(self._rr + k) % n]
+                if worker.worker_id not in exclude and worker.routable(now):
+                    self._rr += k + 1
+                    break
         else:
-            backlogs = {w.name: w.estimated_backlog_s(now) for w in self.workers}
+            backlogs = {w.name: w.estimated_backlog_s(now) for w in pool}
 
             def load(w: FleetWorker) -> tuple[float, int]:
                 return (backlogs[w.name], w.worker_id)  # deterministic ties
 
-            holders = [w for w in self.workers if w.holds_plan(model, dtype)]
-            others = [w for w in self.workers if not w.holds_plan(model, dtype)]
+            holders = [w for w in pool if w.holds_plan(model, dtype)]
+            others = [w for w in pool if not w.holds_plan(model, dtype)]
             if not holders:
                 worker = min(others, key=load)
             else:
@@ -436,21 +480,58 @@ class Fleet:
         attractive immediately."""
         return self._build_worker(gpu)
 
-    def remove_worker(self, worker: FleetWorker) -> None:
+    def remove_worker(
+        self, worker: FleetWorker, *, force: bool = False
+    ) -> list[InferenceRequest]:
         """Retire one *idle* worker (empty queue, device not executing).
 
         The worker moves to :attr:`retired` so its serving history stays in
         :meth:`stats`; removing the last worker or a busy one is an error —
         the autoscaler only ever shrinks idle capacity.
+
+        With ``force=True`` (fault-driven removal) a busy worker is retired
+        anyway: its queued requests are drained and *returned* so the caller
+        can requeue them on survivors, and any un-elapsed device occupancy
+        is refunded so retired-worker utilization in :meth:`stats` stays
+        consistent.  Returns the drained requests (empty when not forced).
         """
         if worker not in self.workers:
             raise PlanError(f"{worker.name} is not an active worker of this fleet")
         if len(self.workers) == 1:
             raise PlanError("cannot remove the last worker of a fleet")
-        if worker.server.pending() or worker.busy_until > self.clock():
-            raise PlanError(f"cannot remove busy worker {worker.name}")
+        drained: list[InferenceRequest] = []
+        now = self.clock()
+        if worker.server.pending() or worker.busy_until > now:
+            if not force:
+                raise PlanError(f"cannot remove busy worker {worker.name}")
+            drained = worker.server.drain()
+            if worker.busy_until > now:
+                worker.busy_s -= worker.busy_until - now
+                worker.busy_until = now
         self.workers.remove(worker)
         self.retired.append(worker)
+        return drained
+
+    def rewarm(self, worker: FleetWorker) -> int:
+        """Re-warm a recovering worker's plan cache from same-GPU peers.
+
+        A crash wiped the worker's on-device plans (``PlanCache.clear``);
+        before it takes traffic again, adopt every plan still resident on
+        a peer with the same GPU — adoption shares the peer's materialized
+        entry and counts as a warm start, never a planner invocation.
+        Returns the number of plans adopted.
+        """
+        adopted = 0
+        for peer in self.workers:
+            if peer is worker or peer.gpu.name != worker.gpu.name:
+                continue
+            for key in peer.server.cache.keys():
+                entry = peer.server.cache.peek(key)
+                if entry is None or key in worker.server.cache:
+                    continue
+                worker.server.cache.adopt(entry)
+                adopted += 1
+        return adopted
 
     @property
     def policy(self) -> str:
@@ -474,6 +555,8 @@ class Fleet:
         """Route one analytic batch and run it on the chosen worker."""
         now = self.clock()
         worker = self.scheduler.route(model, dtype, now)
+        if worker is None:
+            raise PlanError(f"no routable worker for {model} (fleet is down)")
         report = worker.server.submit_analytic(model, batch_size, dtype)
         self._occupy(worker, now, report)
         return worker, report
@@ -484,6 +567,8 @@ class Fleet:
         """Route one functional batch and run it on the chosen worker."""
         now = self.clock()
         worker = self.scheduler.route(model, dtype, now)
+        if worker is None:
+            raise PlanError(f"no routable worker for {model} (fleet is down)")
         report = worker.server.submit(model, inputs, dtype)
         self._occupy(worker, now, report)
         return worker, report
@@ -502,6 +587,8 @@ class Fleet:
         worker-local request id).  ``slo_s``/``priority`` thread through to
         :meth:`ModelServer.enqueue` (deadline-aware flushing per worker)."""
         worker = self.scheduler.route(model, dtype, self.clock())
+        if worker is None:
+            raise PlanError(f"no routable worker for {model} (fleet is down)")
         return worker, worker.server.enqueue(
             model, inputs, dtype, slo_s=slo_s, priority=priority
         )

@@ -45,6 +45,7 @@ from ..obs import resolve_metrics, resolve_tracer
 from .admission import AdmissionController, admission_controller
 from .autoscale import AutoscalePolicy, ScaleEvent
 from .cache import PlanCache
+from .faults import FaultInjector, FaultPlan, FaultStats, RetryPolicy
 from .fleet import Fleet, FleetWorker, RouteDecision, WorkerStats
 from .server import InferenceResult, ModelServer
 
@@ -64,6 +65,7 @@ __all__ = [
     "write_trace",
     "read_trace",
     "percentile",
+    "hedge_delay",
     "capacity_rps",
     "attainment_curve",
     "replay",
@@ -94,6 +96,23 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 def _percentile_or_nan(samples: Sequence[float], q: float) -> float:
     return percentile(samples, q) if len(samples) else float("nan")
+
+
+def hedge_delay(
+    samples: Sequence[float], q: float = 99.0, *, multiplier: float = 1.0
+) -> float:
+    """Hedge-launch delay from observed latencies: ``multiplier`` times the
+    nearest-rank-above ``q``-th percentile (the classic p99-based hedging
+    rule — duplicate only the slowest ~1% of requests).
+
+    Reuses :func:`percentile`, the tree's one nearest-rank implementation,
+    so a hedge tuned from a report's ``latencies_s`` agrees bit-for-bit
+    with that report's own p99.  Feed the result to
+    ``RetryPolicy(hedge_delay_s=...)`` or ``fleet --hedge-ms``.
+    """
+    if multiplier <= 0:
+        raise PlanError(f"hedge multiplier must be > 0, got {multiplier}")
+    return multiplier * percentile(samples, q)
 
 
 class FakeClock:
@@ -783,6 +802,13 @@ class FleetStreamReport:
     scale_events: tuple[ScaleEvent, ...] = ()
     #: high-water mark of fleet size during the replay.
     peak_workers: int = 0
+    #: chaos accounting (None unless a FaultPlan / RetryPolicy was armed).
+    fault_stats: "FaultStats | None" = None
+
+    @property
+    def availability(self) -> float:
+        """Fleet availability over the replay window (1.0 without faults)."""
+        return self.fault_stats.availability if self.fault_stats is not None else 1.0
 
     @property
     def attainment(self) -> float | None:
@@ -825,6 +851,8 @@ class FleetStreamReport:
             )
             for event in self.scale_events:
                 lines.append(f"    {event.describe()}")
+        if self.fault_stats is not None:
+            lines.extend(f"  {line}" for line in self.fault_stats.describe().splitlines())
         slo_by_worker = {s.worker: s for s in self.slo_per_worker}
         for w in self.per_worker:
             line = (
@@ -860,6 +888,11 @@ def fleet_replay(
     slo_s: float | None = None,
     admission: "str | AdmissionController | None" = None,
     autoscale: AutoscalePolicy | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
+    probe_s: float = 1e-4,
+    breaker_threshold: int = 3,
+    breaker_reset_s: float = 1e-3,
     max_chain: int = 2,
     seed: int = 0,
     trace: bool = False,
@@ -903,6 +936,16 @@ def fleet_replay(
     emit into the same sinks, so an autoscaled fleet replay exports
     byte-identical traces across identical invocations.  When reusing a
     ``fleet``, pass the sinks at its construction instead.
+
+    ``faults``/``retry`` arm the chaos path (:mod:`repro.serve.faults`):
+    a :class:`FaultInjector` replays the :class:`FaultPlan` on the shared
+    clock — crashes void in-flight batches and requeue queued work to
+    survivors, slowdowns stretch execution by the throttle factor, and
+    recoveries re-warm the worker's plan cache from peers before a probe
+    returns it to service.  The :class:`RetryPolicy` governs re-submission
+    (bounded backoff, retry budget, optional hedging); accounting lands in
+    ``FleetStreamReport.fault_stats``.  With neither armed, no injector is
+    constructed and the replay is bit-identical to the fault-free path.
     """
     clock = FakeClock()
     if fleet is None:
@@ -1000,6 +1043,9 @@ def fleet_replay(
             worker, batch = groups[key]
             start = max(now, worker.busy_until)
             exec_s = batch[0].exec_s
+            if worker.throttle != 1.0:
+                # thermal throttle (serve.faults): never taken fault-free.
+                exec_s *= worker.throttle
             worker.busy_until = start + exec_s
             worker.busy_s += exec_s
             if tracer.enabled:
@@ -1016,6 +1062,12 @@ def fleet_replay(
                     model=batch[0].model,
                     batch_size=len(batch),
                 )
+            if injector is not None:
+                # Chaos path: the commit is deferred until the batch
+                # settles at start + exec_s, so a crash in between can
+                # void it (the injector calls chaos_commit on success).
+                injector.on_flush(worker, batch, start, exec_s, now)
+                continue
             for r in batch:
                 latency = r.wait_s + (start - now) + exec_s
                 latencies.append(latency)
@@ -1042,18 +1094,93 @@ def fleet_replay(
                     late += 1
                     counts["late"] += 1
 
+    def pump(now: float) -> int:
+        """Flush due micro-batches once; returns how many results flushed."""
+        flushed = fleet.step()
+        handle(flushed, now)
+        return len(flushed)
+
+    def chaos_submit(logical, now, exclude=frozenset(), is_hedge=False) -> bool:
+        """(Re)route one logical request into the fleet; False if nothing
+        is routable.  Retries carry their *remaining* SLO budget so
+        deadline-aware flushing stays honest about the time already lost."""
+        target = fleet.scheduler.route(logical.model, logical.dtype, now, exclude=exclude)
+        if target is None:
+            return False
+        remaining = None
+        if logical.slo_s is not None:
+            slack = logical.arrival_t + logical.slo_s - now
+            remaining = slack if slack > 0 else None
+        rid = target.server.enqueue(
+            logical.model,
+            dtype=logical.dtype,
+            slo_s=remaining,
+            priority=logical.priority,
+        )
+        injector.register(target, rid, logical, is_hedge=is_hedge)
+        return True
+
+    def chaos_commit(worker, r, start, exec_s, flush_now, logical) -> None:
+        """Latency/SLO accounting for one settled result — the same
+        arithmetic as the fault-free path, keyed by the logical request's
+        original arrival instant and SLO."""
+        nonlocal attained, late
+        latency = r.wait_s + (start - flush_now) + exec_s
+        latencies.append(latency)
+        if not slo_in_play:
+            return
+        counts = worker_counts(worker.name)
+        counts["served"] += 1
+        if logical.slo_s is None:
+            attained += 1
+            counts["attained"] += 1
+            return
+        gap = max(0.0, (flush_now - r.wait_s) - logical.arrival_t)
+        if latency + gap <= logical.slo_s:
+            attained += 1
+            counts["attained"] += 1
+        else:
+            late += 1
+            counts["late"] += 1
+
+    injector: FaultInjector | None = None
+    if faults is not None or retry is not None:
+        injector = FaultInjector(
+            fleet,
+            faults if faults is not None else FaultPlan(()),
+            retry=retry,
+            offered=len(entries),
+            probe_s=probe_s,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_s=breaker_reset_s,
+            submit=chaos_submit,
+            commit=chaos_commit,
+            tracer=tracer,
+            metrics=metrics,
+        )
+
     for entry in entries:
         t = entry.t
         # Partial batches whose deadline expires before this arrival flush at
-        # their deadline, not lazily at the next enqueue.
+        # their deadline, not lazily at the next enqueue.  With an injector
+        # armed, its events (faults, settles, retries, hedges, probes) that
+        # fall before this arrival interleave in time order, injector-first
+        # on ties; with none armed this is exactly the fault-free loop.
         while True:
             due = fleet.next_deadline()
+            ev = injector.next_t() if injector is not None else None
+            if ev is not None and ev <= t and (due is None or ev <= due):
+                clock.t = max(clock.t, ev)
+                injector.process(clock.t)
+                pump(clock.t)
+                continue
             if due is None or due > t:
                 break
             clock.t = max(clock.t, due)
-            before = len(latencies)
-            handle(fleet.step(), clock.t)
-            if len(latencies) == before:
+            progressed = pump(clock.t)
+            if injector is not None:
+                injector.process(clock.t)
+            if progressed == 0:
                 break
         clock.t = max(clock.t, t)
         if scaler is not None:
@@ -1061,6 +1188,17 @@ def fleet_replay(
         req_dtype = DType(entry.dtype)
         req_slo = entry.slo_s if entry.slo_s is not None else slo_s
         worker = fleet.scheduler.route(entry.model, req_dtype, clock.t)
+        if worker is None:
+            # Every worker is down (only reachable with faults armed): the
+            # arrival is accepted but parked until capacity recovers.
+            injector.park(
+                arrival_t=t,
+                model=entry.model,
+                dtype=req_dtype,
+                slo_s=req_slo,
+                priority=entry.priority,
+            )
+            continue
         if controller is not None and req_slo is not None:
             # Device occupancy plus any deadline-flush clock drift past the
             # arrival instant: SLO budget already spent at decision time.
@@ -1070,6 +1208,7 @@ def fleet_replay(
                 req_dtype,
                 req_slo,
                 occupancy_s=worker.occupancy_s(clock.t) + max(0.0, clock.t - t),
+                throttle=worker.throttle,
             )
             if decision.action in ("shed", "degrade") and (
                 tracer.enabled or metrics.enabled
@@ -1094,15 +1233,34 @@ def fleet_replay(
             entry.model, dtype=req_dtype, slo_s=req_slo, priority=entry.priority
         )
         meta[(worker.worker_id, rid)] = (t, req_slo)
-        handle(fleet.step(), clock.t)
+        if injector is not None:
+            injector.track(
+                worker,
+                rid,
+                arrival_t=t,
+                model=entry.model,
+                dtype=req_dtype,
+                slo_s=req_slo,
+                priority=entry.priority,
+                now=clock.t,
+            )
+        pump(clock.t)
 
-    while fleet.pending():
+    while fleet.pending() or (injector is not None and injector.pending()):
         due = fleet.next_deadline()
+        ev = injector.next_t() if injector is not None else None
+        if ev is not None and (due is None or ev <= due):
+            clock.t = max(clock.t, ev)
+            if scaler is not None:
+                scaler.observe(clock.t)
+            injector.process(clock.t)
+            pump(clock.t)
+            continue
         if due is not None:
             clock.t = max(clock.t, due)
         if scaler is not None:
             scaler.observe(clock.t)
-        handle(fleet.step(), clock.t)
+        pump(clock.t)
 
     if scaler is not None:
         # Post-drain settling: once every device has gone quiet the backlog
@@ -1117,6 +1275,9 @@ def fleet_replay(
     stats = fleet.stats()
     finish = max([clock.t] + [w.busy_until for w in fleet.workers])
     duration = max(finish - entries[0].t, 1e-12)
+    fault_stats = (
+        injector.finalize(finish, duration) if injector is not None else None
+    )
     latencies.sort()
     first_slo = next((e.slo_s for e in entries if e.slo_s is not None), None)
     return FleetStreamReport(
@@ -1153,4 +1314,5 @@ def fleet_replay(
         ),
         scale_events=tuple(scaler.events) if scaler is not None else (),
         peak_workers=scaler.peak_workers if scaler is not None else len(fleet.workers),
+        fault_stats=fault_stats,
     )

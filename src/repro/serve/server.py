@@ -262,6 +262,33 @@ class ModelServer:
         """Requests currently queued across all (model, precision) keys."""
         return sum(len(q) for q in self._queues.values())
 
+    def cancel(self, request_id: int) -> bool:
+        """Remove one still-queued request (hedge first-wins cancellation).
+
+        Returns False when the request is not queued here — already
+        flushed, already served, or never enqueued on this server.
+        """
+        for key, queue in self._queues.items():
+            for i, req in enumerate(queue):
+                if req.id == request_id:
+                    del queue[i]
+                    if not queue:
+                        del self._queues[key]
+                    return True
+        return False
+
+    def drain(self) -> list[InferenceRequest]:
+        """Pull every queued request off this server (crash failover path).
+
+        Returns the drained requests in queue order so the caller can
+        requeue them on surviving workers; batching state is reset.
+        """
+        drained: list[InferenceRequest] = []
+        for queue in self._queues.values():
+            drained.extend(queue)
+        self._queues.clear()
+        return drained
+
     def estimated_flush_cost_s(self, key: tuple[str, str], batch: int) -> float:
         """Analytic cost of flushing ``batch`` requests of queue ``key`` now,
         from the resident plan (peeked — never perturbs cache accounting);

@@ -50,10 +50,10 @@ def _analyze_snippet(tmp_path: Path, source: str, rules: "str | None" = None):
 
 
 class TestRegistry:
-    def test_all_seven_rules_registered(self):
+    def test_all_eight_rules_registered(self):
         assert ALL_RULE_IDS == (
             "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
-            "RPR007",
+            "RPR007", "RPR008",
         )
         registry = rule_registry()
         assert set(registry) == set(ALL_RULE_IDS)
@@ -425,6 +425,63 @@ class TestSpanContextRule:
             "    # repro: allow[RPR007] exporter test fixture, never entered\n"
             "    return tracer.span('batch')\n"
         ), rules="RPR007")
+        assert findings == []
+
+
+class TestAmbientSleepRule:
+    """RPR008 — retry/backoff waits are events on the injected clock."""
+
+    def test_flags_time_sleep_call(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "import time\n"
+            "def backoff(attempt):\n"
+            "    time.sleep(2 ** attempt)\n"
+        ), rules="RPR008")
+        assert _rule_ids(findings) == {"RPR008"}
+        assert findings[0].line == 3
+        assert "injected clock" in findings[0].message
+
+    def test_flags_from_time_import_sleep_and_its_call(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "from time import sleep\n"
+            "def backoff():\n"
+            "    sleep(0.1)\n"
+        ), rules="RPR008")
+        assert len(findings) == 2
+        assert {f.line for f in findings} == {1, 3}
+
+    def test_injectable_sleep_default_is_clean(self, tmp_path):
+        # The reference, not the call: `sleep=time.sleep` defaults stay
+        # legal (their wall-clock nature is RPR001's allow-comment domain).
+        findings = _analyze_snippet(tmp_path, (
+            "import time\n"
+            "def serve(sleep=time.sleep):\n"
+            "    sleep(0.0)\n"
+        ), rules="RPR008")
+        assert findings == []
+
+    def test_scheduled_event_on_injected_clock_is_clean(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "import heapq\n"
+            "def schedule(heap, now, delay):\n"
+            "    heapq.heappush(heap, (now + delay, 'retry'))\n"
+        ), rules="RPR008")
+        assert findings == []
+
+    def test_foreign_sleep_attribute_is_clean(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "def drive(clock):\n"
+            "    clock.sleep(0.1)\n"
+        ), rules="RPR008")
+        assert findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        findings = _analyze_snippet(tmp_path, (
+            "import time\n"
+            "def wait():\n"
+            "    # repro: allow[RPR008] operator-facing poll loop, not replay\n"
+            "    time.sleep(1.0)\n"
+        ), rules="RPR008")
         assert findings == []
 
 
